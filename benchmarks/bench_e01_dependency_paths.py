@@ -1,0 +1,28 @@
+"""E1 — dependency-path computation on the paper's example (Section 2 table)."""
+
+from repro.coordination.depgraph import DependencyGraph
+from repro.experiments.paper_example import run_paper_example
+from repro.workloads.scenarios import paper_example_rules
+
+
+def test_bench_maximal_paths_static(benchmark):
+    """Static maximal-dependency-path computation for every node of the example."""
+    rules = paper_example_rules()
+
+    def compute():
+        graph = DependencyGraph.from_rules(rules)
+        return {
+            node: graph.maximal_dependency_paths(node) for node in graph.nodes
+        }
+
+    paths = benchmark(compute)
+    benchmark.extra_info["paths_for_A"] = ["".join(p) for p in paths["A"]]
+    assert {"".join(p) for p in paths["A"]} == {"ABE", "ABCA", "ABCB", "ABCDA"}
+
+
+def test_bench_paths_via_distributed_discovery(benchmark):
+    """Full E1 run: discovery from every node reproduces the static paths."""
+    result = benchmark.pedantic(run_paper_example, rounds=3, iterations=1)
+    benchmark.extra_info["discovery_messages"] = result.discovery_messages
+    benchmark.extra_info["paths_match"] = result.paths_match
+    assert result.paths_match

@@ -1,0 +1,24 @@
+"""E2 — the Figure 1 execution trace on the example system."""
+
+from repro.experiments.trace_example import run_trace_example
+
+
+def test_bench_discovery_and_update_trace(benchmark):
+    """Traced discovery + update on the example under per-path propagation."""
+    result = benchmark.pedantic(run_trace_example, rounds=3, iterations=1)
+    benchmark.extra_info["counts_by_type"] = dict(result.counts_by_type)
+    benchmark.extra_info["discovery_time"] = result.discovery_time
+    benchmark.extra_info["update_time"] = result.update_time
+    # The trace must show both phases, in order, as in Figure 1.
+    assert result.counts_by_type["request_nodes"] > 0
+    assert result.counts_by_type["query"] > 0
+    assert result.counts_by_type["answer"] >= result.counts_by_type["query"] / 2
+
+
+def test_bench_trace_once_policy(benchmark):
+    """The same trace under the optimised (once) propagation policy."""
+    result = benchmark.pedantic(
+        lambda: run_trace_example(propagation="once"), rounds=3, iterations=1
+    )
+    benchmark.extra_info["counts_by_type"] = dict(result.counts_by_type)
+    assert result.counts_by_type["query"] > 0

@@ -1,0 +1,72 @@
+"""E3 — scalability with network size for trees, layered DAGs and cliques.
+
+The paper ran up to 31 peers with ~1000 records each; the benchmark keeps the
+31-node tree but reduces the per-node record count so a full run stays fast.
+The shape that must hold: messages and time grow with the node count, every
+run reaches the fix-point, and trees stay far cheaper than cliques of similar
+size.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_dblp_update
+from repro.workloads.topologies import clique_topology, layered_topology, tree_topology
+
+RECORDS = 25
+
+
+@pytest.mark.parametrize("depth,expected_nodes", [(1, 3), (2, 7), (3, 15), (4, 31)])
+def test_bench_tree_scalability(benchmark, depth, expected_nodes):
+    """Global update on complete binary trees of 3, 7, 15 and 31 nodes."""
+    def run():
+        return run_dblp_update(
+            tree_topology(depth, 2), records_per_node=RECORDS,
+            label=f"tree/{expected_nodes}",
+        )[1]
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        nodes=result.node_count,
+        update_messages=result.update_messages,
+        update_time=result.update_time,
+        tuples_inserted=result.tuples_inserted,
+    )
+    assert result.node_count == expected_nodes
+    assert result.all_closed
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 4])
+def test_bench_layered_scalability(benchmark, depth):
+    """Global update on layered acyclic graphs of growing depth (width 3)."""
+    def run():
+        return run_dblp_update(
+            layered_topology(depth, width=3, seed=0),
+            records_per_node=RECORDS,
+            label=f"layered/{depth}",
+        )[1]
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        nodes=result.node_count,
+        update_messages=result.update_messages,
+        update_time=result.update_time,
+    )
+    assert result.all_closed
+
+
+@pytest.mark.parametrize("size", [3, 5, 7, 9])
+def test_bench_clique_scalability(benchmark, size):
+    """Global update on cliques of 3-9 nodes (the densest topology)."""
+    def run():
+        return run_dblp_update(
+            clique_topology(size), records_per_node=max(5, RECORDS // size),
+            label=f"clique/{size}",
+        )[1]
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        nodes=result.node_count,
+        update_messages=result.update_messages,
+        update_time=result.update_time,
+    )
+    assert result.all_closed

@@ -1,0 +1,34 @@
+"""E4 — "execution time is linear with respect to the depth of the structure".
+
+The headline observation of the paper's evaluation.  The benchmark sweeps the
+depth for binary trees and layered acyclic graphs, fits a straight line and
+records the fit in extra_info; the assertion requires R² ≥ 0.9 and a positive
+slope — i.e. the reproduction shows the same linear shape the paper reports.
+"""
+
+from repro.experiments.depth_linearity import run_depth_linearity
+
+
+def test_bench_depth_linearity_trees_and_layered(benchmark):
+    """Depth sweep 1-5 for both families, with the linear fit."""
+    def run():
+        return run_depth_linearity(depths=(1, 2, 3, 4, 5), records_per_node=15)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    for family, data in series.items():
+        benchmark.extra_info[f"{family}_times"] = list(data.update_times)
+        benchmark.extra_info[f"{family}_slope"] = round(data.fit["slope"], 3)
+        benchmark.extra_info[f"{family}_r_squared"] = round(data.fit["r_squared"], 4)
+        assert data.fit["slope"] > 0, family
+        assert data.fit["r_squared"] >= 0.9, family
+
+
+def test_bench_depth_linearity_message_growth(benchmark):
+    """Messages grow with depth as well, but with the tree's node count, not linearly."""
+    def run():
+        return run_depth_linearity(depths=(1, 2, 3, 4), records_per_node=10)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    tree = series["tree"]
+    benchmark.extra_info["tree_messages"] = list(tree.update_messages)
+    assert list(tree.update_messages) == sorted(tree.update_messages)

@@ -1,0 +1,35 @@
+"""E5 — the two data distributions (disjoint vs 50% overlap between neighbours)."""
+
+import pytest
+
+from repro.experiments.data_distribution import run_data_distribution
+from repro.workloads.topologies import clique_topology, layered_topology, tree_topology
+
+SPECS = {
+    "tree": tree_topology(3, 2),
+    "layered": layered_topology(3, 3),
+    "clique": clique_topology(6),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_bench_distribution_comparison(benchmark, name):
+    """Disjoint vs overlapping initial data on one topology family."""
+    spec = SPECS[name]
+
+    def run():
+        return run_data_distribution(
+            specs=[spec], records_per_node=30, overlap_probability=0.5
+        )[0]
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        topology=name,
+        disjoint_inserted=comparison.disjoint.tuples_inserted,
+        overlap_inserted=comparison.overlapping.tuples_inserted,
+        disjoint_messages=comparison.disjoint.update_messages,
+        overlap_messages=comparison.overlapping.update_messages,
+        insertion_ratio=round(comparison.insertion_ratio, 3),
+    )
+    # Overlapping initial data never requires inserting *more* tuples.
+    assert comparison.overlapping.tuples_inserted <= comparison.disjoint.tuples_inserted

@@ -1,0 +1,23 @@
+"""E6 — per-node statistics and duplicate-query accounting on a clique."""
+
+from repro.experiments.message_accounting import run_message_accounting
+
+
+def test_bench_message_accounting_clique(benchmark):
+    """per_path vs once propagation on a 5-clique: duplicate queries due to loops."""
+    def run():
+        return run_message_accounting(clique_size=5, records_per_node=15)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        per_path_messages=result.per_path.total_messages,
+        once_messages=result.once.total_messages,
+        per_path_duplicates=result.per_path.duplicate_queries,
+        once_duplicates=result.once.duplicate_queries,
+        per_path_bytes=result.per_path.total_bytes,
+        once_bytes=result.once.total_bytes,
+    )
+    # The faithful per-path policy must show the loop-induced duplicates the
+    # paper's statistics module was built to count.
+    assert result.per_path.duplicate_queries > result.once.duplicate_queries
+    assert result.per_path.total_messages > result.once.total_messages

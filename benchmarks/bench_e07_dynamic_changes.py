@@ -1,0 +1,33 @@
+"""E7 — update interleaved with addLink/deleteLink (Theorem 2)."""
+
+from repro.experiments.dynamic_changes import run_dynamic_changes
+
+
+def test_bench_dynamic_changes_tree(benchmark):
+    """A tree update racing with a change of added and deleted rules."""
+    def run():
+        return run_dynamic_changes(depth=3, records_per_node=15, deletions=2)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        change_length=result.change_length,
+        total_messages=result.total_messages,
+        sound=result.sound,
+        complete=result.complete,
+        terminated=result.terminated,
+    )
+    assert result.theorem2_holds
+
+
+def test_bench_dynamic_changes_more_churn(benchmark):
+    """The same experiment with a longer change and tighter interleaving."""
+    def run():
+        return run_dynamic_changes(
+            depth=2, records_per_node=15, deletions=4, steps_between=3
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        change_length=result.change_length, total_messages=result.total_messages
+    )
+    assert result.theorem2_holds

@@ -1,0 +1,34 @@
+"""E8 — a separated component terminates while the rest of the network churns (Theorem 3)."""
+
+from repro.experiments.separation import run_separation
+
+
+def test_bench_separation_under_churn(benchmark):
+    """Tree component updates to its fix-point while a clique component churns."""
+    def run():
+        return run_separation(
+            tree_depth=2, clique_size=4, records_per_node=12, churn_rounds=6
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        churn_operations=result.churn_operations,
+        messages_within_a=result.messages_within_a,
+        total_messages=result.total_messages,
+    )
+    assert result.theorem3_holds
+
+
+def test_bench_separation_messages_independent_of_churn(benchmark):
+    """More churn in B must not change the work done inside the separated A."""
+    def run():
+        light = run_separation(records_per_node=10, churn_rounds=2)
+        heavy = run_separation(records_per_node=10, churn_rounds=10)
+        return light, heavy
+
+    light, heavy = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        light_messages_in_a=light.messages_within_a,
+        heavy_messages_in_a=heavy.messages_within_a,
+    )
+    assert light.messages_within_a == heavy.messages_within_a

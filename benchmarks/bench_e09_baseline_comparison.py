@@ -1,0 +1,34 @@
+"""E9 — materialised update vs query-time answering vs the centralized/acyclic baselines."""
+
+import pytest
+
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.workloads.topologies import clique_topology, tree_topology
+
+SPECS = {"tree": tree_topology(3, 2), "clique": clique_topology(5)}
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_bench_baseline_comparison(benchmark, name):
+    """One topology compared across the three strategies."""
+    spec = SPECS[name]
+
+    def run():
+        return run_baseline_comparison(spec, records_per_node=20, queries_in_batch=10)
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        topology=name,
+        update_messages=comparison.update_messages,
+        querytime_messages_per_query=comparison.querytime_messages_per_query,
+        breakeven_queries=round(comparison.breakeven_queries, 2),
+        acyclic_applicable=comparison.acyclic_applicable,
+        acyclic_matches=comparison.acyclic_matches,
+    )
+    # All strategies must agree on the answers; the acyclic baseline is only
+    # applicable on the tree (who-wins shape from the paper's positioning).
+    assert comparison.answers_agree
+    assert comparison.acyclic_applicable == (name == "tree")
+    # Materialisation pays once; query-time pays per query, so a modest batch
+    # of queries amortises the update cost.
+    assert comparison.breakeven_queries < 20

@@ -1,0 +1,31 @@
+"""E10 — worst-case growth with clique size and with change length (Lemmas 1(3) and 4)."""
+
+from repro.experiments.complexity_growth import run_change_growth, run_clique_growth
+
+
+def test_bench_clique_growth_per_policy(benchmark):
+    """Messages vs clique size under faithful per-path and optimised once policies."""
+    def run():
+        return run_clique_growth(sizes=(2, 3, 4, 5), records_per_node=5)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_path = {p.size: p.update_messages for p in points if p.policy == "per_path"}
+    once = {p.size: p.update_messages for p in points if p.policy == "once"}
+    benchmark.extra_info["per_path_messages"] = per_path
+    benchmark.extra_info["once_messages"] = once
+    # The faithful policy's growth rate dominates the optimised one — the
+    # observable face of the exponential worst case.
+    assert per_path[5] / per_path[2] > once[5] / once[2]
+    assert all(per_path[s] >= once[s] for s in per_path)
+
+
+def test_bench_change_size_growth(benchmark):
+    """Messages to re-reach the fix-point vs the length of the change (Lemma 4)."""
+    def run():
+        return run_change_growth(lengths=(1, 2, 4, 8), records_per_node=10)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    extra = {p.change_length: p.extra_messages for p in points}
+    benchmark.extra_info["extra_messages_by_change_length"] = extra
+    lengths = sorted(extra)
+    assert all(extra[a] <= extra[b] for a, b in zip(lengths, lengths[1:]))

@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+The benchmarks regenerate the paper's experiments (see DESIGN.md's experiment
+index and EXPERIMENTS.md for the measured numbers).  Each benchmark stores the
+experiment's headline quantities in ``benchmark.extra_info`` so that the
+pytest-benchmark JSON output doubles as the experiment record.
+
+Workload sizes default to values that keep a full ``pytest benchmarks/
+--benchmark-only`` run in the order of a few minutes on a laptop; the
+experiment modules accept larger parameters (e.g. the paper's 1000 records per
+node) when invoked directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Benchmarks are skipped unless --benchmark-only / --benchmark-enable is given."""
+    if config.getoption("--benchmark-only") or config.getoption("--benchmark-enable"):
+        return
+    skip = pytest.mark.skip(reason="benchmarks run with --benchmark-only")
+    for item in items:
+        item.add_marker(skip)

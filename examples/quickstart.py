@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: a three-peer P2P database network in a few dozen lines.
+
+Three research groups each keep a small relational database of projects.  The
+coordination rules let the `portal` peer import every project of the two lab
+peers; after the global update, queries at the portal are answered locally,
+without contacting the labs again — the core promise of the paper.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    P2PSystem,
+    RelationSchema,
+    SuperPeer,
+    parse_query,
+    rule_from_text,
+)
+
+
+def main() -> None:
+    # 1. Declare each peer's shared schema (the paper's DBS).
+    schemas = {
+        "lab_a": [RelationSchema("project", ["name", "topic", "year"])],
+        "lab_b": [RelationSchema("effort", ["acronym", "area"])],
+        "portal": [RelationSchema("catalogue", ["name", "topic"])],
+    }
+
+    # 2. Coordination rules: how the portal imports from the two labs.
+    #    Note the existential year in the second rule: lab_b does not track
+    #    years, so the portal stores a labelled null for it.
+    rules = [
+        rule_from_text("r_a", "lab_a: project(N, T, Y) -> portal: catalogue(N, T)"),
+        rule_from_text("r_b", "lab_b: effort(N, T) -> portal: catalogue(N, T)"),
+    ]
+
+    # 3. Initial data at the labs; the portal starts empty.
+    data = {
+        "lab_a": {
+            "project": [
+                ("hyperion", "p2p databases", 2003),
+                ("piazza", "schema mediation", 2003),
+            ]
+        },
+        "lab_b": {"effort": [("edutella", "rdf p2p"), ("gridvine", "semantic overlay")]},
+    }
+
+    # 4. Build the system, run topology discovery and the global update.
+    system = P2PSystem.build(schemas, rules, data, super_peer="portal")
+    super_peer = SuperPeer(system)
+    discovery_time = super_peer.run_discovery()
+    update_time = super_peer.run_global_update()
+
+    # 5. Query the portal locally: every project is now available there.
+    answers = system.local_query("portal", parse_query("q(N, T) :- catalogue(N, T)"))
+    stats = super_peer.collect_statistics()
+
+    print("discovery finished at simulated time", discovery_time)
+    print("update    finished at simulated time", update_time)
+    print("messages exchanged:", stats.total_messages)
+    print("portal catalogue (answered locally):")
+    for name, topic in sorted(answers):
+        print(f"  - {name}: {topic}")
+    assert len(answers) == 4, "the portal should have imported all four projects"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment used for the reproduction has an older setuptools without
+wheel support, so ``pip install -e . --no-build-isolation --no-use-pep517``
+needs this file; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Baseline algorithms the paper positions itself against.
+
+* :mod:`repro.baselines.centralized` — the *global* algorithm in the style of
+  [Calvanese et al., 2003]: a central site with access to every local database
+  computes the update fix-point without message exchange.  It also serves as
+  the reference semantics the distributed algorithm is tested against.
+* :mod:`repro.baselines.acyclic` — propagation restricted to acyclic networks
+  in the style of [Halevy et al., 2003]: rules are applied once in reverse
+  topological order of the dependency graph, which is complete only when the
+  network has no cycles.
+* :mod:`repro.baselines.querytime` — answering a query *at query time* by
+  recursively fetching data from acquaintances, without materialising
+  anything.  The introduction motivates the update problem precisely as the
+  alternative to this: after materialisation, queries are answered locally.
+"""
+
+from repro.baselines.centralized import CentralizedResult, centralized_update
+from repro.baselines.acyclic import acyclic_update
+from repro.baselines.querytime import QueryTimeResult, query_time_answer
+
+__all__ = [
+    "CentralizedResult",
+    "centralized_update",
+    "acyclic_update",
+    "QueryTimeResult",
+    "query_time_answer",
+]

@@ -1,0 +1,145 @@
+"""Command-line entry point: run the paper's experiments from a terminal.
+
+``python -m repro.cli list`` shows the available experiments;
+``python -m repro.cli run E4 --records 30`` regenerates one of them and prints
+the same table the corresponding module's ``main()`` produces.  The CLI is a
+thin veneer over :mod:`repro.experiments`, so scripted runs (benchmarks,
+CI, notebooks) and interactive runs share exactly the same code paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    baseline_comparison,
+    complexity_growth,
+    data_distribution,
+    depth_linearity,
+    dynamic_changes,
+    message_accounting,
+    paper_example,
+    scalability,
+    separation,
+    trace_example,
+)
+
+#: Experiment id → (description, callable taking the parsed args).
+_EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
+    "E1": (
+        "dependency paths of the Section 2 example",
+        lambda args: paper_example.main(),
+    ),
+    "E2": (
+        "Figure 1 execution trace",
+        lambda args: trace_example.main(limit=args.limit),
+    ),
+    "E3": (
+        "scalability sweep over trees, layered DAGs and cliques",
+        lambda args: scalability.main(records_per_node=args.records),
+    ),
+    "E4": (
+        "execution time vs depth (linearity)",
+        lambda args: depth_linearity.main(records_per_node=args.records),
+    ),
+    "E5": (
+        "data distributions: disjoint vs 50% overlap",
+        lambda args: data_distribution.main(records_per_node=args.records),
+    ),
+    "E6": (
+        "per-node statistics / duplicate queries on a clique",
+        lambda args: message_accounting.main(records_per_node=args.records),
+    ),
+    "E7": (
+        "update interleaved with addLink/deleteLink (Theorem 2)",
+        lambda args: dynamic_changes.main(),
+    ),
+    "E8": (
+        "separated component under churn (Theorem 3)",
+        lambda args: separation.main(),
+    ),
+    "E9": (
+        "materialised update vs query-time vs centralized",
+        lambda args: baseline_comparison.main(),
+    ),
+    "E10": (
+        "worst-case growth with clique size and change length",
+        lambda args: complexity_growth.main(),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed separately so tests can exercise it)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction experiments for the EDBT P2P&DB 2004 paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS, key=lambda e: int(e[1:])),
+        help="experiment id from DESIGN.md",
+    )
+    run_parser.add_argument(
+        "--records",
+        type=int,
+        default=30,
+        help="records per node for the workload-driven experiments (default 30)",
+    )
+    run_parser.add_argument(
+        "--limit",
+        type=int,
+        default=40,
+        help="number of trace rows to print for E2 (default 40)",
+    )
+
+    run_all = subparsers.add_parser("run-all", help="run every experiment in order")
+    run_all.add_argument("--records", type=int, default=20)
+    run_all.add_argument("--limit", type=int, default=20)
+    return parser
+
+
+def list_experiments() -> str:
+    """A one-line-per-experiment listing."""
+    lines = [
+        f"{exp_id:4s} {description}"
+        for exp_id, (description, _run) in sorted(
+            _EXPERIMENTS.items(), key=lambda item: int(item[0][1:])
+        )
+    ]
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        list_experiments()
+        return 0
+    if args.command == "run":
+        _description, run = _EXPERIMENTS[args.experiment]
+        run(args)
+        return 0
+    if args.command == "run-all":
+        for exp_id in sorted(_EXPERIMENTS, key=lambda e: int(e[1:])):
+            print(f"\n===== {exp_id} =====")
+            _description, run = _EXPERIMENTS[exp_id]
+            run(args)
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

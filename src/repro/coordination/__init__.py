@@ -1,0 +1,39 @@
+"""Coordination rules and the dependency structure they induce.
+
+A coordination rule (Definition 2) lets a node *i* fetch data from its
+acquaintances *j1 ... jk*::
+
+    j1 : b1(x1, y1)  ∧ ... ∧  jk : bk(xk, yk)   ⇒   i : h(x)
+
+This package provides:
+
+* :mod:`repro.coordination.rule` — :class:`CoordinationRule` and parsing from
+  the paper's arrow syntax,
+* :mod:`repro.coordination.depgraph` — dependency edges (Definition 5),
+  dependency paths and *maximal* dependency paths (Definitions 6–7), and the
+  separation check of Definition 10,
+* :mod:`repro.coordination.registry` — :class:`RuleRegistry`, the mutable set
+  of rules of a whole P2P system, supporting the atomic ``addLink`` /
+  ``deleteLink`` changes of Section 4.
+"""
+
+from repro.coordination.rule import CoordinationRule, rule_from_text
+from repro.coordination.depgraph import (
+    DependencyGraph,
+    dependency_edges,
+    dependency_paths,
+    maximal_dependency_paths,
+    is_separated,
+)
+from repro.coordination.registry import RuleRegistry
+
+__all__ = [
+    "CoordinationRule",
+    "rule_from_text",
+    "DependencyGraph",
+    "dependency_edges",
+    "dependency_paths",
+    "maximal_dependency_paths",
+    "is_separated",
+    "RuleRegistry",
+]

@@ -1,0 +1,210 @@
+"""Dependency edges, dependency paths and separation (Definitions 5–7 and 10).
+
+The dependency structure of a P2P system is derived from its coordination
+rules: there is a dependency edge from node *i* to node *j* whenever a rule
+has its head at *i* and (part of) its body at *j*.  Note that the edge points
+*against* the data flow — it records who *i* depends on.
+
+A *dependency path* for node *i* (Definition 6) is a sequence of nodes
+``i = i1, i2, ..., in`` following dependency edges such that the prefix
+``i1 ... i(n-1)`` is simple (no repeated node); the last node may close a
+loop.  A *maximal* dependency path (Definition 7) is one that cannot be
+extended and still be a dependency path.  The topology discovery algorithm of
+Section 3 makes every node aware of exactly these paths.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.coordination.rule import CoordinationRule, NodeId
+
+Edge = tuple[NodeId, NodeId]
+Path = tuple[NodeId, ...]
+
+
+def dependency_edges(rules: Iterable[CoordinationRule]) -> set[Edge]:
+    """All dependency edges induced by ``rules`` (head node → each body node)."""
+    edges: set[Edge] = set()
+    for rule in rules:
+        edges.update(rule.dependency_edges)
+    return edges
+
+
+class DependencyGraph:
+    """The dependency graph of a P2P system (nodes + dependency edges)."""
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId] = (),
+        edges: Iterable[Edge] = (),
+    ):
+        self._successors: dict[NodeId, set[NodeId]] = defaultdict(set)
+        self._nodes: set[NodeId] = set(nodes)
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    @classmethod
+    def from_rules(
+        cls, rules: Iterable[CoordinationRule], nodes: Iterable[NodeId] = ()
+    ) -> "DependencyGraph":
+        """Build the graph from a collection of coordination rules."""
+        rules = list(rules)
+        graph = cls(nodes=nodes, edges=dependency_edges(rules))
+        for rule in rules:
+            graph.add_node(rule.target)
+            for source in rule.sources:
+                graph.add_node(source)
+        return graph
+
+    # ------------------------------------------------------------- structure
+
+    def add_node(self, node: NodeId) -> None:
+        """Add an isolated node (no-op if already present)."""
+        self._nodes.add(node)
+
+    def add_edge(self, source: NodeId, target: NodeId) -> None:
+        """Add a dependency edge ``source → target``."""
+        self._nodes.add(source)
+        self._nodes.add(target)
+        self._successors[source].add(target)
+
+    def remove_edge(self, source: NodeId, target: NodeId) -> None:
+        """Remove a dependency edge if present."""
+        self._successors.get(source, set()).discard(target)
+
+    @property
+    def nodes(self) -> frozenset[NodeId]:
+        """All nodes of the graph."""
+        return frozenset(self._nodes)
+
+    @property
+    def edges(self) -> frozenset[Edge]:
+        """All dependency edges."""
+        return frozenset(
+            (source, target)
+            for source, targets in self._successors.items()
+            for target in targets
+        )
+
+    def successors(self, node: NodeId) -> frozenset[NodeId]:
+        """Nodes that ``node`` depends on (its acquaintances as data sources)."""
+        return frozenset(self._successors.get(node, set()))
+
+    # ----------------------------------------------------------------- paths
+
+    def dependency_paths(self, start: NodeId) -> Iterator[Path]:
+        """Yield every dependency path starting at ``start`` (Definition 6)."""
+        def walk(path: list[NodeId], visited: set[NodeId]) -> Iterator[Path]:
+            yield tuple(path)
+            last = path[-1]
+            # Extending is only allowed while the current path is simple,
+            # because the extended path's prefix must be simple.
+            if len(set(path)) != len(path):
+                return
+            for successor in sorted(self._successors.get(last, set())):
+                path.append(successor)
+                yield from walk(path, visited)
+                path.pop()
+
+        yield from walk([start], {start})
+
+    def maximal_dependency_paths(
+        self, start: NodeId, *, limit: int | None = None
+    ) -> list[Path]:
+        """All maximal dependency paths of ``start`` (Definition 7), sorted.
+
+        A path is maximal when no successor of its last node can extend it
+        into another dependency path: either the last node has no successors,
+        or the path already ends in a repeated node (its prefix would stop
+        being simple if extended).
+
+        The number of maximal paths is factorial in the node count on dense
+        graphs (this is where the paper's 2EXPTIME bound comes from); ``limit``
+        caps the enumeration so discovery on cliques stays tractable — the
+        first ``limit`` paths in DFS order are returned.
+        """
+        maximal: list[Path] = []
+        for path in self.dependency_paths(start):
+            is_simple = len(set(path)) == len(path)
+            last = path[-1]
+            if not is_simple:
+                maximal.append(path)
+            elif not self._successors.get(last):
+                if len(path) > 1 or not self._successors.get(start):
+                    maximal.append(path)
+            if limit is not None and len(maximal) >= limit:
+                break
+        # A lone start node only counts when it truly has no outgoing edges.
+        return sorted(set(maximal))
+
+    def reachable_from(self, start: NodeId) -> frozenset[NodeId]:
+        """All nodes reachable from ``start`` along dependency edges."""
+        seen: set[NodeId] = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for successor in self._successors.get(node, set()):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return frozenset(seen)
+
+    def is_acyclic(self) -> bool:
+        """True when the dependency graph has no cycles."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[NodeId, int] = {node: WHITE for node in self._nodes}
+
+        def visit(node: NodeId) -> bool:
+            colour[node] = GREY
+            for successor in self._successors.get(node, set()):
+                state = colour.get(successor, WHITE)
+                if state == GREY:
+                    return False
+                if state == WHITE and not visit(successor):
+                    return False
+            colour[node] = BLACK
+            return True
+
+        return all(
+            visit(node) for node in self._nodes if colour[node] == WHITE
+        )
+
+    def __repr__(self) -> str:
+        return f"DependencyGraph({len(self._nodes)} nodes, {len(self.edges)} edges)"
+
+
+# --------------------------------------------------------------------- helpers
+
+
+def dependency_paths(
+    rules: Iterable[CoordinationRule], start: NodeId
+) -> list[Path]:
+    """All dependency paths of ``start`` given a rule set."""
+    return list(DependencyGraph.from_rules(rules).dependency_paths(start))
+
+
+def maximal_dependency_paths(
+    rules: Iterable[CoordinationRule], start: NodeId
+) -> list[Path]:
+    """All maximal dependency paths of ``start`` given a rule set."""
+    return DependencyGraph.from_rules(rules).maximal_dependency_paths(start)
+
+
+def is_separated(
+    graph: DependencyGraph,
+    group_a: Iterable[NodeId],
+    group_b: Iterable[NodeId],
+) -> bool:
+    """Definition 10(1): ``group_a`` is separated from ``group_b``.
+
+    True when no dependency path starting at a node of ``group_a`` involves a
+    node of ``group_b`` — equivalently, no node of ``group_b`` is reachable
+    from ``group_a`` along dependency edges.
+    """
+    targets = set(group_b)
+    for node in group_a:
+        if graph.reachable_from(node) & targets:
+            return False
+    return True

@@ -1,0 +1,258 @@
+"""Dynamic behaviour of the P2P network (Section 4 of the paper).
+
+The network changes only through two atomic operations:
+
+* ``addLink(i, j, rule, id)`` — add coordination rule ``rule`` named ``id``
+  with body at node *j* and head at node *i*; node *i* is notified,
+* ``deleteLink(i, j, id)`` — delete the rule named ``id`` between *i* and *j*;
+  node *i* is notified.
+
+A *change* is a sequence of atomic operations (Definition 8); a *sub-change*
+with respect to a node set A keeps only the operations relevant to A, in the
+same order.  Definition 9 then bounds what a run interleaved with a change may
+return:
+
+* a **sound** answer is contained in the result obtained by executing all the
+  ``addLink`` operations *before* the run and none of the ``deleteLink``
+  operations,
+* a **complete** answer contains the result obtained by executing all the
+  ``deleteLink`` operations *before* the run and none of the ``addLink``
+  operations.
+
+:func:`sound_envelope` / :func:`complete_envelope` compute those two reference
+databases with the centralized baseline, and :func:`is_sound_answer` /
+:func:`is_complete_answer` check a measured result against them — this is how
+the property tests exercise Theorem 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.baselines.centralized import DataSpec, SchemaSpec, centralized_update
+from repro.coordination.depgraph import DependencyGraph, is_separated
+from repro.coordination.rule import CoordinationRule, NodeId
+from repro.core.system import P2PSystem
+from repro.database.nulls import is_null
+from repro.database.relation import Row
+from repro.errors import ChangeError
+
+Snapshot = Mapping[NodeId, Mapping[str, frozenset[Row]]]
+
+
+@dataclass(frozen=True)
+class AddLink:
+    """Atomic change: install ``rule`` (head node gets the notification)."""
+
+    rule: CoordinationRule
+
+    @property
+    def rule_id(self) -> str:
+        """The name of the added rule."""
+        return self.rule.rule_id
+
+    @property
+    def involved_nodes(self) -> frozenset[NodeId]:
+        """Nodes this operation is relevant to."""
+        return frozenset((self.rule.target, *self.rule.sources))
+
+
+@dataclass(frozen=True)
+class DeleteLink:
+    """Atomic change: remove the rule named ``rule_id`` (head node notified)."""
+
+    target: NodeId
+    source: NodeId
+    rule_id: str
+
+    @property
+    def involved_nodes(self) -> frozenset[NodeId]:
+        """Nodes this operation is relevant to."""
+        return frozenset((self.target, self.source))
+
+
+AtomicChange = AddLink | DeleteLink
+
+
+@dataclass
+class NetworkChange:
+    """A finite sequence of atomic change operations (Definition 8)."""
+
+    operations: list[AtomicChange] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[AtomicChange]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def add_link(self, rule: CoordinationRule) -> "NetworkChange":
+        """Append an ``addLink`` operation (returns self for chaining)."""
+        self.operations.append(AddLink(rule))
+        return self
+
+    def delete_link(self, target: NodeId, source: NodeId, rule_id: str) -> "NetworkChange":
+        """Append a ``deleteLink`` operation (returns self for chaining)."""
+        self.operations.append(DeleteLink(target, source, rule_id))
+        return self
+
+    def initial_subchange(self, length: int) -> "NetworkChange":
+        """The prefix of the change of the given length (Definition 8.3)."""
+        if length < 0 or length > len(self.operations):
+            raise ChangeError(f"invalid prefix length {length}")
+        return NetworkChange(list(self.operations[:length]))
+
+    def subchange_for(self, nodes: Iterable[NodeId]) -> "NetworkChange":
+        """The operations relevant to ``nodes``, in the original order (Def. 8.4)."""
+        node_set = frozenset(nodes)
+        return NetworkChange(
+            [op for op in self.operations if op.involved_nodes & node_set]
+        )
+
+    @property
+    def added_rules(self) -> list[CoordinationRule]:
+        """Rules added by the change, in order."""
+        return [op.rule for op in self.operations if isinstance(op, AddLink)]
+
+    @property
+    def deleted_rule_ids(self) -> list[str]:
+        """Rule ids deleted by the change, in order."""
+        return [op.rule_id for op in self.operations if isinstance(op, DeleteLink)]
+
+
+# --------------------------------------------------------------------- applying
+
+
+def apply_change_operation(system: P2PSystem, operation: AtomicChange) -> None:
+    """Apply one atomic change to a running system, with the paper's notification.
+
+    ``addLink`` installs the rule and, when the update phase has already
+    started at the target, immediately queries the new rule's sources so the
+    imported data keeps flowing; ``deleteLink`` removes the rule — data that
+    was already imported through it stays, exactly as the sound/complete
+    envelopes of Definition 9 anticipate.
+    """
+    if isinstance(operation, AddLink):
+        system.add_rule(operation.rule, trigger_update=True)
+    elif isinstance(operation, DeleteLink):
+        rule = system.registry.get(operation.rule_id)
+        if rule.target != operation.target or operation.source not in rule.sources:
+            raise ChangeError(
+                f"deleteLink({operation.target}, {operation.source}, "
+                f"{operation.rule_id}) does not match the registered rule {rule}"
+            )
+        system.remove_rule(operation.rule_id)
+    else:  # pragma: no cover - defensive
+        raise ChangeError(f"unknown change operation {operation!r}")
+
+
+def apply_change_interleaved(
+    system: P2PSystem,
+    change: NetworkChange,
+    *,
+    steps_between: int = 5,
+) -> float:
+    """Interleave a change with a running update on a synchronous transport.
+
+    The update must already have been started (e.g. by triggering
+    ``update.start`` on the origins).  Between two consecutive atomic
+    operations the transport delivers ``steps_between`` messages, so the
+    change genuinely races with the protocol; after the last operation the
+    network runs to quiescence.  Returns the simulated completion time.
+    """
+    transport = system.transport
+    for operation in change:
+        for _ in range(steps_between):
+            if transport.step() is None:  # type: ignore[attr-defined]
+                break
+        apply_change_operation(system, operation)
+    return transport.run()  # type: ignore[attr-defined]
+
+
+# --------------------------------------------------------------------- envelopes
+
+
+def sound_envelope(
+    schemas: SchemaSpec,
+    initial_rules: Iterable[CoordinationRule],
+    change: NetworkChange,
+    data: DataSpec | None,
+) -> Snapshot:
+    """Definition 9.1 reference: all ``addLink`` first, no ``deleteLink``."""
+    rules = list(initial_rules) + change.added_rules
+    return centralized_update(schemas, rules, data).snapshot()
+
+
+def complete_envelope(
+    schemas: SchemaSpec,
+    initial_rules: Iterable[CoordinationRule],
+    change: NetworkChange,
+    data: DataSpec | None,
+) -> Snapshot:
+    """Definition 9.2 reference: all ``deleteLink`` first, no ``addLink``."""
+    deleted = set(change.deleted_rule_ids)
+    rules = [rule for rule in initial_rules if rule.rule_id not in deleted]
+    return centralized_update(schemas, rules, data).snapshot()
+
+
+def _ground_rows(rows: Iterable[Row]) -> frozenset[Row]:
+    """Keep only rows without labelled nulls.
+
+    Rows containing invented nulls are witness tuples for existential
+    variables; their labels depend on which rule fired first, so the
+    containment checks of Definition 9 are made on the ground (null-free)
+    part of each relation.
+    """
+    return frozenset(
+        row for row in rows if not any(is_null(value) for value in row)
+    )
+
+
+def is_sound_answer(measured: Snapshot, envelope: Snapshot) -> bool:
+    """True when every measured ground row is allowed by the sound envelope."""
+    for node_id, relations in measured.items():
+        reference = envelope.get(node_id, {})
+        for relation_name, rows in relations.items():
+            if not _ground_rows(rows) <= _ground_rows(reference.get(relation_name, frozenset())):
+                return False
+    return True
+
+
+def is_complete_answer(measured: Snapshot, envelope: Snapshot) -> bool:
+    """True when the measured result contains every row of the complete envelope."""
+    for node_id, relations in envelope.items():
+        observed = measured.get(node_id, {})
+        for relation_name, rows in relations.items():
+            if not _ground_rows(rows) <= _ground_rows(observed.get(relation_name, frozenset())):
+                return False
+    return True
+
+
+# -------------------------------------------------------------------- separation
+
+
+def is_separated_under_change(
+    nodes: Iterable[NodeId],
+    others: Iterable[NodeId],
+    initial_rules: Iterable[CoordinationRule],
+    change: NetworkChange,
+) -> bool:
+    """Definition 10.2: separation with respect to every prefix of a change.
+
+    The check applies every initial prefix of ``change`` to the rule set and
+    verifies that no dependency path from ``nodes`` reaches ``others`` in any
+    of the resulting networks.
+    """
+    nodes = list(nodes)
+    others = list(others)
+    initial_rules = list(initial_rules)
+    for length in range(len(change) + 1):
+        prefix = change.initial_subchange(length)
+        deleted = set(prefix.deleted_rule_ids)
+        rules = [r for r in initial_rules if r.rule_id not in deleted]
+        rules.extend(prefix.added_rules)
+        graph = DependencyGraph.from_rules(rules, nodes=[*nodes, *others])
+        if not is_separated(graph, nodes, others):
+            return False
+    return True

@@ -1,0 +1,163 @@
+"""Per-node protocol state (the data structures listed in Section 3).
+
+The paper equips every node with:
+
+* ``state_d`` — discovery state: undefined, ``discovery`` or ``closed``,
+* ``state_u`` — update state: ``open`` or ``closed``,
+* ``finished`` — whether network discovery *through* this node is finished,
+* ``Rules(rule, node, flag)`` — the coordination rules targeting the node,
+* ``Paths(path, flag, closed)`` — the node's maximal dependency paths,
+* ``Edges(source, target)`` — dependency edges known so far,
+* ``owner`` — pairs (requesting node, node on whose behalf the request runs).
+
+This module holds those structures in dataclasses so the protocol code in
+:mod:`repro.core.discovery` and :mod:`repro.core.update` stays readable and
+the tests can inspect every flag the paper mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.coordination.rule import NodeId
+
+Path = tuple[NodeId, ...]
+Edge = tuple[NodeId, NodeId]
+
+
+class DiscoveryState(str, Enum):
+    """The paper's ``state_d``: knowledge about the network topology."""
+
+    UNDEFINED = "undefined"
+    DISCOVERY = "discovery"
+    CLOSED = "closed"
+
+
+class UpdateState(str, Enum):
+    """The paper's ``state_u``: status of the data at a node."""
+
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+@dataclass
+class RuleFlags:
+    """Per-rule bookkeeping used by both protocol phases.
+
+    ``flag`` is the paper's Rules.flag (the branch reported a *closed* state);
+    ``finished`` mirrors the per-branch "discovery finished" indicator; the
+    update phase uses ``complete_sources`` to remember which source nodes have
+    reported a complete fragment.
+    """
+
+    flag: bool = False
+    finished: bool = False
+    complete_sources: set[NodeId] = field(default_factory=set)
+
+
+@dataclass
+class PathFlags:
+    """Per-path bookkeeping of the update phase (Paths.flag / Paths.closed)."""
+
+    no_new_data: bool = False
+    closed: bool = False
+
+
+@dataclass
+class OwnerEntry:
+    """One entry of the paper's ``owner`` array.
+
+    ``requester`` is the node that sent the request (may be ``None`` for the
+    entry a super-peer records about itself), ``origin`` is the node on whose
+    behalf the request is made, and ``rule_id`` (update phase only) is the
+    rule through which the requester imports data from this node.
+    """
+
+    requester: NodeId | None
+    origin: NodeId
+    rule_id: str | None = None
+
+
+@dataclass
+class NodeState:
+    """The complete mutable protocol state of one peer."""
+
+    # -- discovery phase -----------------------------------------------------
+    state_d: DiscoveryState = DiscoveryState.UNDEFINED
+    finished: bool = False
+    edges: set[Edge] = field(default_factory=set)
+    paths: dict[Path, PathFlags] = field(default_factory=dict)
+    discovery_owner: list[OwnerEntry] = field(default_factory=list)
+    origins_seen: set[NodeId] = field(default_factory=set)
+    branch_state_closed: dict[NodeId, bool] = field(default_factory=dict)
+    branch_finished: dict[NodeId, bool] = field(default_factory=dict)
+
+    # -- update phase --------------------------------------------------------
+    state_u: UpdateState = UpdateState.OPEN
+    rule_flags: dict[str, RuleFlags] = field(default_factory=dict)
+    update_owner: list[OwnerEntry] = field(default_factory=list)
+    fragments: dict[tuple[str, NodeId], frozenset[tuple]] = field(default_factory=dict)
+    update_paths: dict[Path, PathFlags] = field(default_factory=dict)
+    queried_paths: set[Path] = field(default_factory=set)
+    update_started: bool = False
+    # Pull-round bookkeeping: the (rule, source) answers the current round is
+    # still waiting for, whether the round imported anything new, whether
+    # another round was requested while one was running, and a counter.
+    pending_answers: set[tuple[str, NodeId]] = field(default_factory=set)
+    round_dirty: bool = False
+    rerun_requested: bool = False
+    rounds_completed: int = 0
+    # Last fragment pushed to each (rule, requester) pair; pushes whose
+    # fragment did not change since are suppressed (delta optimisation).
+    pushed_fragments: dict[tuple[str, NodeId], frozenset[tuple]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------ reset
+
+    def reset_discovery(self) -> None:
+        """Forget every discovery-phase datum (super-peer RESET)."""
+        self.state_d = DiscoveryState.UNDEFINED
+        self.finished = False
+        self.edges.clear()
+        self.paths.clear()
+        self.discovery_owner.clear()
+        self.origins_seen.clear()
+        self.branch_state_closed.clear()
+        self.branch_finished.clear()
+
+    def reset_update(self) -> None:
+        """Forget every update-phase datum (local data itself is kept)."""
+        self.state_u = UpdateState.OPEN
+        self.rule_flags.clear()
+        self.update_owner.clear()
+        self.fragments.clear()
+        self.update_paths.clear()
+        self.queried_paths.clear()
+        self.update_started = False
+        self.pending_answers.clear()
+        self.round_dirty = False
+        self.rerun_requested = False
+        self.rounds_completed = 0
+        self.pushed_fragments.clear()
+
+    # ------------------------------------------------------------- inspection
+
+    def has_discovery_owner(self, requester: NodeId | None, origin: NodeId) -> bool:
+        """True if an identical (requester, origin) pair is already recorded."""
+        return any(
+            entry.requester == requester and entry.origin == origin
+            for entry in self.discovery_owner
+        )
+
+    def has_update_owner(self, requester: NodeId, rule_id: str) -> bool:
+        """True if ``requester`` already registered interest through ``rule_id``."""
+        return any(
+            entry.requester == requester and entry.rule_id == rule_id
+            for entry in self.update_owner
+        )
+
+    def maximal_paths(self) -> list[Path]:
+        """The node's maximal dependency paths as recorded in ``paths``."""
+        return sorted(self.paths)

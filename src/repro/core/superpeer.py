@@ -1,0 +1,106 @@
+"""The super-peer role (Section 5 of the paper).
+
+A super-peer "does not have any other property differentiating it from other
+nodes": it is an ordinary peer that additionally
+
+* selects itself (or is selected) to initiate topology discovery,
+* can read the coordination rules for all peers from a file and broadcast
+  them, letting one peer change the network topology at run time — "extremely
+  convenient for running multiple experiments on different topologies",
+* starts global update requests,
+* commands other peers to report or reset their statistics.
+
+:class:`SuperPeer` wraps a :class:`~repro.core.system.P2PSystem` and provides
+exactly those operations, including a tiny rule-file format so experiments can
+be described declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.coordination.rule import CoordinationRule, NodeId, rule_from_text
+from repro.core.system import P2PSystem
+from repro.stats.collector import StatsSnapshot
+
+
+class SuperPeer:
+    """Experiment-control operations bound to one designated peer."""
+
+    def __init__(self, system: P2PSystem, node_id: NodeId | None = None):
+        self.system = system
+        self.node_id = node_id if node_id is not None else system.super_peer
+        system.super_peer = self.node_id
+
+    # ------------------------------------------------------------ rule files
+
+    @staticmethod
+    def parse_rule_file(text: str) -> list[CoordinationRule]:
+        """Parse a rule file: one ``rule_id: body -> target`` rule per line.
+
+        Blank lines and lines starting with ``#`` are ignored.  The rule id is
+        everything before the first ``:`` whose remainder parses as a rule.
+        """
+        rules = []
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            rule_id, _, remainder = line.partition(":")
+            rules.append(rule_from_text(rule_id.strip(), remainder.strip()))
+        return rules
+
+    def broadcast_rules(self, rules: Iterable[CoordinationRule] | str) -> int:
+        """Install a batch of rules network-wide (the rule-file broadcast).
+
+        ``rules`` may be an iterable of rules or the text of a rule file.
+        Rules already installed (same id) are skipped, so re-broadcasting an
+        extended file only adds the new rules.  Returns how many rules were
+        installed.
+        """
+        if isinstance(rules, str):
+            rules = self.parse_rule_file(rules)
+        installed = 0
+        for rule in rules:
+            if rule.rule_id in self.system.registry:
+                continue
+            self.system.add_rule(rule)
+            installed += 1
+        return installed
+
+    # ------------------------------------------------------------- protocols
+
+    def run_discovery(self) -> float:
+        """Initiate topology discovery from the super-peer and run to quiescence."""
+        return self.system.run_discovery(origins=[self.node_id])
+
+    def run_global_update(self, *, everywhere: bool = True) -> float:
+        """Send the global update request and run the network to quiescence.
+
+        With ``everywhere=True`` (the default, and what the experiments use)
+        every node starts importing its data; with ``everywhere=False`` only
+        the super-peer's own dependency closure is updated.
+        """
+        origins = None if everywhere else [self.node_id]
+        return self.system.run_global_update(origins=origins)
+
+    # ------------------------------------------------------------- statistics
+
+    def collect_statistics(self) -> StatsSnapshot:
+        """The super-peer's "send me your statistics" command."""
+        return self.system.snapshot_stats()
+
+    def reset_statistics(self) -> None:
+        """The super-peer's "reset statistics at all peers" command."""
+        self.system.reset_statistics()
+
+    def reset_protocol_state(self, *, clear_data: bool = False) -> None:
+        """Reset every node's protocol state (and optionally its data) directly."""
+        for node in self.system.nodes.values():
+            node.state.reset_discovery()
+            node.state.reset_update()
+            if clear_data:
+                node.database.clear()
+
+    def __repr__(self) -> str:
+        return f"SuperPeer({self.node_id!r})"

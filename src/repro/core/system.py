@@ -1,0 +1,274 @@
+"""The whole P2P database network: nodes, rules, pipes and transport.
+
+:class:`P2PSystem` is the library's main entry point.  It owns the rule
+registry, builds one :class:`~repro.core.node.PeerNode` per participating
+peer, wires every rule to its target (incoming) and source (outgoing) nodes,
+opens the pipes the prototype would open, and exposes the two protocol phases
+plus dynamic-network changes.  Most callers construct it through
+:meth:`P2PSystem.build` and then call :meth:`run_discovery` /
+:meth:`run_global_update` / :meth:`local_query`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.coordination.depgraph import DependencyGraph
+from repro.coordination.registry import RuleRegistry
+from repro.coordination.rule import CoordinationRule, NodeId
+from repro.core.node import PeerNode
+from repro.database.database import LocalDatabase
+from repro.database.query import ConjunctiveQuery
+from repro.database.relation import Row
+from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.errors import ReproError
+from repro.network.advertisement import Advertisement, DiscoveryService
+from repro.network.latency import LatencyModel
+from repro.network.pipe import PipeTable
+from repro.network.transport import AsyncTransport, BaseTransport, SyncTransport
+from repro.stats.collector import StatisticsCollector, StatsSnapshot
+
+SchemaSpec = Mapping[NodeId, DatabaseSchema | Iterable[RelationSchema]]
+DataSpec = Mapping[NodeId, Mapping[str, Iterable[Row]]]
+
+
+class P2PSystem:
+    """A complete P2P database network over a single simulated transport."""
+
+    def __init__(
+        self,
+        transport: BaseTransport,
+        super_peer: NodeId | None = None,
+    ):
+        self.transport = transport
+        self.stats: StatisticsCollector = transport.stats
+        self.registry = RuleRegistry()
+        self.nodes: dict[NodeId, PeerNode] = {}
+        self.pipes = PipeTable()
+        self.discovery_service = DiscoveryService()
+        self._super_peer = super_peer
+
+    # -------------------------------------------------------------- building
+
+    @classmethod
+    def build(
+        cls,
+        schemas: SchemaSpec,
+        rules: Iterable[CoordinationRule] = (),
+        data: DataSpec | None = None,
+        *,
+        transport: str | BaseTransport = "sync",
+        latency: LatencyModel | None = None,
+        propagation: str = "once",
+        super_peer: NodeId | None = None,
+        max_messages: int = 1_000_000,
+    ) -> "P2PSystem":
+        """Build a system from per-node schemas, rules and initial data.
+
+        ``transport`` is either an existing transport instance or the string
+        ``"sync"`` / ``"async"``; ``propagation`` selects the query
+        propagation policy of every node (see :mod:`repro.core.update`).
+        """
+        if isinstance(transport, BaseTransport):
+            transport_obj = transport
+        elif transport == "sync":
+            transport_obj = SyncTransport(latency=latency, max_messages=max_messages)
+        elif transport == "async":
+            transport_obj = AsyncTransport(latency=latency, max_messages=max_messages)
+        else:
+            raise ReproError(f"unknown transport kind {transport!r}")
+
+        system = cls(transport_obj, super_peer=super_peer)
+        for node_id, schema in schemas.items():
+            system.add_node(node_id, schema, propagation=propagation)
+        for rule in rules:
+            system.add_rule(rule)
+        if data:
+            system.load_data(data)
+        return system
+
+    def add_node(
+        self,
+        node_id: NodeId,
+        schema: DatabaseSchema | Iterable[RelationSchema],
+        *,
+        propagation: str = "once",
+    ) -> PeerNode:
+        """Create and register a peer with the given shared schema."""
+        if node_id in self.nodes:
+            raise ReproError(f"node {node_id!r} already exists")
+        if not isinstance(schema, DatabaseSchema):
+            schema = DatabaseSchema(schema)
+        database = LocalDatabase(schema)
+        node = PeerNode(
+            node_id,
+            database,
+            self.transport,
+            stats=self.stats,
+            propagation=propagation,
+        )
+        self.nodes[node_id] = node
+        self.discovery_service.publish(
+            Advertisement(peer_id=node_id, shared_relations=schema.relation_names)
+        )
+        return node
+
+    def add_rule(self, rule: CoordinationRule, *, trigger_update: bool = False) -> None:
+        """Install a coordination rule on its target and source nodes.
+
+        With ``trigger_update=True`` the target node immediately queries the
+        rule's sources (used by the dynamic ``addLink`` operation when an
+        update is already under way).
+        """
+        for mentioned in (rule.target, *rule.sources):
+            if mentioned not in self.nodes:
+                raise ReproError(
+                    f"rule {rule.rule_id!r} mentions unknown node {mentioned!r}"
+                )
+        self.registry.add(rule)
+        target = self.nodes[rule.target]
+        target.add_incoming_rule(rule)
+        for source in rule.sources:
+            self.nodes[source].add_outgoing_rule(rule)
+            self.pipes.ensure_pipe(rule.target, source, rule.rule_id)
+        if trigger_update:
+            target.update.request_rule(rule)
+
+    def remove_rule(self, rule_id: str) -> CoordinationRule:
+        """Uninstall a coordination rule everywhere (pipes close when unused)."""
+        rule = self.registry.remove(rule_id)
+        self.nodes[rule.target].remove_incoming_rule(rule_id)
+        for source in rule.sources:
+            if source in self.nodes:
+                self.nodes[source].remove_outgoing_rule(rule_id)
+            self.pipes.drop_rule(rule.target, source, rule_id)
+        return rule
+
+    def load_data(self, data: DataSpec) -> None:
+        """Bulk-load initial rows into the nodes' local databases."""
+        for node_id, relations in data.items():
+            node = self.nodes[node_id]
+            for relation_name, rows in relations.items():
+                node.database.insert_many(relation_name, rows)
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def super_peer(self) -> NodeId:
+        """The designated super-peer (defaults to the smallest node id)."""
+        if self._super_peer is not None:
+            return self._super_peer
+        if not self.nodes:
+            raise ReproError("the system has no nodes")
+        return min(self.nodes)
+
+    @super_peer.setter
+    def super_peer(self, node_id: NodeId) -> None:
+        if node_id not in self.nodes:
+            raise ReproError(f"unknown node {node_id!r}")
+        self._super_peer = node_id
+
+    def dependency_graph(self) -> DependencyGraph:
+        """The dependency graph of the current rule set."""
+        return self.registry.dependency_graph(nodes=self.nodes)
+
+    def node(self, node_id: NodeId) -> PeerNode:
+        """The peer named ``node_id``."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise ReproError(f"unknown node {node_id!r}") from None
+
+    # -------------------------------------------------------------- protocols
+
+    def run_discovery(self, origins: Iterable[NodeId] | None = None) -> float:
+        """Run the topology discovery phase to quiescence (synchronous transport).
+
+        ``origins`` are the nodes on whose behalf discovery is started; by
+        default only the super-peer initiates, as in the paper.  Returns the
+        simulated completion time.  After quiescence every participating node
+        finalises its ``Paths`` relation.
+        """
+        self._require_sync()
+        origin_list = list(origins) if origins is not None else [self.super_peer]
+        for origin in origin_list:
+            self.node(origin).discovery.start()
+        completion = self.transport.run()  # type: ignore[attr-defined]
+        for node in self.nodes.values():
+            node.discovery.finalize_paths()
+        return completion
+
+    def run_global_update(self, origins: Iterable[NodeId] | None = None) -> float:
+        """Run the distributed update phase to quiescence (synchronous transport).
+
+        ``origins`` defaults to *all* nodes — the paper's global update where
+        the super-peer's request reaches everybody and every node imports the
+        data it is entitled to.  Pass a single node to run a query-dependent
+        update that only involves that node's dependency closure.  Returns the
+        simulated completion time.
+        """
+        self._require_sync()
+        origin_list = list(origins) if origins is not None else sorted(self.nodes)
+        for origin in origin_list:
+            self.node(origin).update.start()
+        return self.transport.run()  # type: ignore[attr-defined]
+
+    async def run_discovery_async(
+        self, origins: Iterable[NodeId] | None = None
+    ) -> StatsSnapshot:
+        """Asynchronous-transport variant of :meth:`run_discovery`."""
+        self._require_async()
+        origin_list = list(origins) if origins is not None else [self.super_peer]
+        for origin in origin_list:
+            self.node(origin).discovery.start()
+        await self.transport.wait_quiescent()  # type: ignore[attr-defined]
+        for node in self.nodes.values():
+            node.discovery.finalize_paths()
+        return self.stats.snapshot()
+
+    async def run_global_update_async(
+        self, origins: Iterable[NodeId] | None = None
+    ) -> StatsSnapshot:
+        """Asynchronous-transport variant of :meth:`run_global_update`."""
+        self._require_async()
+        origin_list = list(origins) if origins is not None else sorted(self.nodes)
+        for origin in origin_list:
+            self.node(origin).update.start()
+        await self.transport.wait_quiescent()  # type: ignore[attr-defined]
+        return self.stats.snapshot()
+
+    def _require_sync(self) -> None:
+        if not isinstance(self.transport, SyncTransport):
+            raise ReproError(
+                "this method needs a SyncTransport; use the *_async variant"
+            )
+
+    def _require_async(self) -> None:
+        if not isinstance(self.transport, AsyncTransport):
+            raise ReproError(
+                "this method needs an AsyncTransport; use the synchronous variant"
+            )
+
+    # ----------------------------------------------------------------- queries
+
+    def local_query(self, node_id: NodeId, query: ConjunctiveQuery) -> set[tuple]:
+        """Answer ``query`` using only ``node_id``'s local data."""
+        return self.node(node_id).local_query(query)
+
+    def databases(self) -> dict[NodeId, dict[str, frozenset[Row]]]:
+        """A snapshot of every node's relations (used by tests and experiments)."""
+        return {node_id: node.database.facts() for node_id, node in self.nodes.items()}
+
+    def snapshot_stats(self) -> StatsSnapshot:
+        """The current statistics snapshot."""
+        return self.stats.snapshot()
+
+    def reset_statistics(self) -> None:
+        """Reset all counters (the super-peer's reset command)."""
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"P2PSystem({len(self.nodes)} nodes, {len(self.registry)} rules, "
+            f"transport={type(self.transport).__name__})"
+        )

@@ -1,0 +1,468 @@
+"""The distributed database update (algorithms A4–A6 of the paper).
+
+The update phase propagates, through the coordination rules, every piece of
+data a node is entitled to import, so that later queries can be answered
+locally.  The message flow per node is:
+
+* ``start`` — triggered by the super-peer's global update request (or by a
+  query-dependent update): the node sends a ``Query`` for every coordination
+  rule targeting it to each of the rule's source nodes, with the path ``[me]``.
+* ``Query`` (A4) — a source node receiving a query records the requester in
+  its ``owner`` table, evaluates the requested body fragment on its local
+  database, answers immediately, and — if it is not already on the query's
+  path (loop detection) — forwards queries for its *own* rules to its own
+  sources with the extended path.
+* ``Answer`` (A5) — the head node stores the received fragment, recomputes the
+  rule (joining fragments when the body spans several sources), applies the
+  result to its local database via the chase step, flags the path as carrying
+  new data or not, and — when its database actually changed — pushes fresh
+  answers to every node that registered as an owner (dependants importing data
+  from it).
+* ``UpdateLocalData`` (A6) — implemented by
+  :meth:`repro.database.database.LocalDatabase.apply_view_tuples`: head facts
+  are inserted unless a row matching them on every non-existential position is
+  already present; existential positions receive deterministic labelled nulls.
+
+Fix-point (Lemma 1): a result set stops propagating when (a) the node is
+already on the path it travelled and (b) it brings no new data.  A node's
+``state_u`` becomes ``closed`` when either every incoming rule has reported
+complete fragments from all of its sources, or every path seen so far brought
+no new data — the two (disjunctive) conditions in the paper's ``Answer``
+pseudo-code.  When a node closes it notifies its dependants once, so closure
+propagates through acyclic parts of the network.
+
+Propagation policy
+------------------
+The literal algorithm re-propagates a query along every distinct dependency
+path (the statistics module of the prototype even counts the resulting
+duplicate queries).  On a clique the number of simple paths is factorial in
+the node count, so the faithful policy is only usable on small networks.  The
+node therefore supports two policies (see DESIGN.md):
+
+* ``"per_path"`` — faithful to the pseudo-code; a node forwards queries once
+  per distinct path it is reached through,
+* ``"once"`` — the "delta optimisation" the paper alludes to: a node forwards
+  its queries only the first time it is reached in an update run.  The
+  owners-push mechanism still delivers every later data change, so the final
+  fix-point is identical; only the number of (duplicate) messages differs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.coordination.rule import CoordinationRule, NodeId
+from repro.core.state import OwnerEntry, PathFlags, RuleFlags, UpdateState
+from repro.database.evaluate import evaluate_body
+from repro.database.query import Constant, Variable
+from repro.network.message import Message, MessageType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import PeerNode
+
+Fragment = frozenset[tuple]
+
+#: Supported propagation policies.
+PROPAGATION_POLICIES = ("once", "per_path")
+
+
+def fragment_variables(rule: CoordinationRule, source: NodeId) -> tuple[Variable, ...]:
+    """The column order of the fragment a source node returns for ``rule``."""
+    return rule.body_query_for(source).body_variables
+
+
+def fragment_for(database, rule: CoordinationRule, node_id: NodeId) -> Fragment:
+    """Evaluate the part of ``rule``'s body stored at ``node_id`` over ``database``.
+
+    The result is a set of tuples over :func:`fragment_variables` order; the
+    head node joins fragments from every source before projecting onto the
+    rule's distinguished variables.  This function is shared with the
+    centralized baseline, which evaluates the same fragments without any
+    message exchange.
+    """
+    query = rule.body_query_for(node_id)
+    variables = query.body_variables
+    answers = set()
+    for binding in evaluate_body(database, query):
+        answers.add(tuple(binding[variable] for variable in variables))
+    return frozenset(answers)
+
+
+def evaluate_fragment(node: "PeerNode", rule: CoordinationRule) -> Fragment:
+    """Evaluate the part of ``rule``'s body stored at ``node`` (a peer)."""
+    return fragment_for(node.database, rule, node.node_id)
+
+
+def join_fragments(
+    rule: CoordinationRule,
+    fragments: Mapping[NodeId, Iterable[tuple]],
+) -> set[tuple]:
+    """Join per-source fragments and project onto the distinguished variables.
+
+    Returns the set of answer tuples (one per firing) ordered like
+    ``rule.distinguished_variables``.  Sources with no fragment yet make the
+    result empty — the rule simply cannot fire until every source answered at
+    least once.
+    """
+    sources = rule.sources
+    for source in sources:
+        if source not in fragments:
+            return set()
+
+    bindings: list[dict[Variable, object]] = [{}]
+    for source in sources:
+        variables = fragment_variables(rule, source)
+        fragment_rows = fragments[source]
+        new_bindings: list[dict[Variable, object]] = []
+        for binding in bindings:
+            for row in fragment_rows:
+                candidate = dict(binding)
+                consistent = True
+                for variable, value in zip(variables, row):
+                    known = candidate.get(variable, _UNBOUND)
+                    if known is _UNBOUND:
+                        candidate[variable] = value
+                    elif known != value:
+                        consistent = False
+                        break
+                if consistent:
+                    new_bindings.append(candidate)
+        bindings = new_bindings
+        if not bindings:
+            return set()
+
+    answers: set[tuple] = set()
+    distinguished = rule.distinguished_variables
+    for binding in bindings:
+        if not _comparisons_hold(rule, binding):
+            continue
+        answers.add(tuple(binding[variable] for variable in distinguished))
+    return answers
+
+
+_UNBOUND = object()
+
+
+def _comparisons_hold(rule: CoordinationRule, binding: Mapping[Variable, object]) -> bool:
+    """Check the rule's built-in predicates against a complete binding."""
+    for comparison in rule.comparisons:
+        operands = []
+        for term in (comparison.left, comparison.right):
+            if isinstance(term, Constant):
+                operands.append(term.value)
+            else:
+                if term not in binding:
+                    return False
+                operands.append(binding[term])
+        if not comparison.evaluate(operands[0], operands[1]):
+            return False
+    return True
+
+
+class UpdateProtocol:
+    """The update-phase behaviour of one peer node.
+
+    Convergence and local fix-point detection are organised around *pull
+    rounds*: a round sends one ``Query`` per (incoming rule, source node) and
+    waits for the matching answers; when the round completes without having
+    imported a single new tuple, the node has reached its fix-point and closes
+    (``state_u = closed``); when it did import something, another round is
+    started — the paper's "the update algorithm has to continue the
+    computation until a fix-point is reached".  Pushed answers from sources
+    whose data changed later re-open a closed node and trigger a new round, so
+    the global fix-point is reached and every node ends up closed (Lemma 1).
+    """
+
+    def __init__(self, node: "PeerNode"):
+        self.node = node
+
+    # ---------------------------------------------------------------- start
+
+    def start(self, path: tuple[NodeId, ...] = ()) -> None:
+        """Begin the update at this node (global update request).
+
+        ``path`` is the sequence of nodes the triggering request travelled
+        through; the node's own queries extend it with its identifier.
+        """
+        node = self.node
+        state = node.state
+        if not node.incoming_rules:
+            state.state_u = UpdateState.CLOSED
+            return
+        state.state_u = UpdateState.OPEN
+        own_path = (node.node_id,) + tuple(path)
+        self._start_round(own_path)
+
+    def _start_round(self, path: tuple[NodeId, ...]) -> None:
+        """Send one Query per (incoming rule, source) and await the answers."""
+        node = self.node
+        state = node.state
+        if state.pending_answers:
+            # A round is already in flight; remember to run another one when
+            # it completes, so no trigger is ever lost.
+            state.rerun_requested = True
+            return
+        if not node.incoming_rules:
+            state.state_u = UpdateState.CLOSED
+            return
+        state.update_started = True
+        state.round_dirty = False
+        state.rerun_requested = False
+        state.queried_paths.add(path)
+        for rule_id, rule in node.incoming_rules.items():
+            state.rule_flags.setdefault(rule_id, RuleFlags())
+            for source in rule.sources:
+                state.pending_answers.add((rule_id, source))
+        # Send after registering every expectation, so an answer delivered
+        # re-entrantly (zero-latency transports) cannot complete the round
+        # prematurely.
+        for rule_id, rule in node.incoming_rules.items():
+            for source in rule.sources:
+                node.send(
+                    source,
+                    MessageType.QUERY,
+                    {
+                        "rule_id": rule_id,
+                        "requester": node.node_id,
+                        "path": path,
+                    },
+                )
+
+    def request_rule(self, rule: CoordinationRule) -> None:
+        """Trigger (re-)querying after ``addLink`` installed a new rule.
+
+        The whole rule set is re-pulled in a fresh round, which both fetches
+        the new rule's data and re-checks the fix-point.
+        """
+        node = self.node
+        state = node.state
+        state.state_u = UpdateState.OPEN
+        state.rule_flags.setdefault(rule.rule_id, RuleFlags())
+        if state.pending_answers:
+            state.rerun_requested = True
+        else:
+            self._start_round((node.node_id,))
+
+    # ------------------------------------------------------------------- A4
+
+    def on_query(self, message: Message) -> None:
+        """Algorithm A4 (``Query``): answer a fragment request and propagate."""
+        node = self.node
+        state = node.state
+        rule_id: str = message.payload["rule_id"]
+        requester: NodeId = message.payload["requester"]
+        path: tuple[NodeId, ...] = tuple(message.payload["path"])
+
+        rule = node.outgoing_rules.get(rule_id)
+        if rule is None:
+            # The rule was deleted while the query was in flight (Section 4);
+            # answer nothing and do not register the requester.
+            return
+
+        # A node with nothing to import holds complete data by definition.
+        if not node.incoming_rules:
+            state.state_u = UpdateState.CLOSED
+
+        duplicate = state.has_update_owner(requester, rule_id)
+        node.stats.record_query(node.node_id, duplicate=duplicate)
+        if not duplicate:
+            origin = path[-1] if path else requester
+            state.update_owner.append(
+                OwnerEntry(requester=requester, origin=origin, rule_id=rule_id)
+            )
+
+        fragment = evaluate_fragment(node, rule)
+        node.send(
+            requester,
+            MessageType.ANSWER,
+            {
+                "rule_id": rule_id,
+                "source": node.node_id,
+                "tuples": fragment,
+                "complete": state.state_u == UpdateState.CLOSED,
+                "path": path,
+            },
+        )
+
+        # Propagate the update wave: a node that has not started updating yet
+        # starts its own pull rounds when the wave reaches it.
+        if node.incoming_rules and not state.update_started:
+            state.state_u = UpdateState.OPEN
+            self._start_round((node.node_id,) + path)
+        elif (
+            node.propagation == "per_path"
+            and node.incoming_rules
+            and node.node_id not in path
+            and ((node.node_id,) + path) not in state.queried_paths
+        ):
+            # Faithful per-path re-propagation (the duplicate queries the
+            # paper's statistics module counts).  The extra answers are
+            # applied like any other answer but play no role in the round
+            # bookkeeping.
+            extended = (node.node_id,) + path
+            state.queried_paths.add(extended)
+            for own_rule_id, own_rule in node.incoming_rules.items():
+                for source in own_rule.sources:
+                    node.send(
+                        source,
+                        MessageType.QUERY,
+                        {
+                            "rule_id": own_rule_id,
+                            "requester": node.node_id,
+                            "path": extended,
+                        },
+                    )
+
+    # ------------------------------------------------------------------- A5
+
+    def on_answer(self, message: Message) -> None:
+        """Algorithm A5 (``Answer``): apply a fragment answer locally."""
+        node = self.node
+        state = node.state
+        rule_id: str = message.payload["rule_id"]
+        source: NodeId = message.payload["source"]
+        tuples: Fragment = frozenset(message.payload["tuples"])
+        complete: bool = message.payload["complete"]
+        path: tuple[NodeId, ...] = tuple(message.payload["path"])
+
+        rule = node.incoming_rules.get(rule_id)
+        if rule is None:
+            # Rule deleted while the answer was in flight: drop it.
+            return
+
+        flags = state.rule_flags.setdefault(rule_id, RuleFlags())
+        previous = state.fragments.get((rule_id, source), frozenset())
+        fragment_grew = not tuples <= previous
+        state.fragments[(rule_id, source)] = frozenset(previous | tuples)
+        if complete:
+            flags.complete_sources.add(source)
+            if set(rule.sources) <= flags.complete_sources:
+                flags.flag = True
+
+        if fragment_grew or (rule_id, source) in state.pending_answers:
+            # Re-join and re-apply only when the source contributed something
+            # new, or when this answer completes a pull round (so the round's
+            # dirty flag is meaningful even for the first, empty answers).
+            fragments = {
+                src: state.fragments.get((rule_id, src), frozenset())
+                for src in rule.sources
+            }
+            answers = join_fragments(rule, fragments)
+            inserted = node.database.apply_view_tuples(
+                rule_id, rule.head, rule.distinguished_variables, answers
+            )
+        else:
+            inserted = set()
+        node.stats.record_update(
+            node.node_id, received=len(tuples), inserted=len(inserted)
+        )
+
+        path_flags = state.update_paths.setdefault(path, PathFlags())
+        path_flags.no_new_data = not inserted
+        if complete:
+            path_flags.closed = True
+
+        if inserted:
+            # New data: remember that this round is dirty, re-open if we had
+            # already closed, and push the refreshed fragments downstream.
+            state.round_dirty = True
+            if state.state_u == UpdateState.CLOSED:
+                state.state_u = UpdateState.OPEN
+                state.rerun_requested = True
+            self._push_to_owners()
+
+        state.pending_answers.discard((rule_id, source))
+        if not state.pending_answers:
+            self._complete_round()
+
+    # ---------------------------------------------------------------- rounds
+
+    def _complete_round(self) -> None:
+        """A full round of answers has arrived: close or start the next round."""
+        node = self.node
+        state = node.state
+        if not state.update_started:
+            # Answers arrived outside any round (e.g. pure pushes while the
+            # node never started); rounds have nothing to conclude.
+            if state.rerun_requested:
+                state.rerun_requested = False
+                self._start_round((node.node_id,))
+            return
+        state.rounds_completed += 1
+        if state.round_dirty or state.rerun_requested:
+            state.round_dirty = False
+            state.rerun_requested = False
+            self._start_round((node.node_id,))
+            return
+        # Fix-point at this node: the last full round imported nothing new.
+        was_closed = state.state_u == UpdateState.CLOSED
+        state.state_u = UpdateState.CLOSED
+        for rule_id in node.incoming_rules:
+            state.rule_flags.setdefault(rule_id, RuleFlags()).finished = True
+        for flags in state.update_paths.values():
+            flags.closed = True
+        if not was_closed:
+            # Tell dependants our fragments are complete, so their own rule
+            # flags can be set (closure propagates through acyclic parts).
+            self._push_to_owners(force=True)
+
+    # ------------------------------------------------------------------ push
+
+    def _push_to_owners(self, *, force: bool = False) -> None:
+        """Push refreshed fragments to every dependant registered in ``owner``.
+
+        This is the second half of A5: when the local database changed (or the
+        node just closed), every node that imports data from this node
+        receives an updated answer, so new facts keep flowing until no node
+        changes any more (the fix-point).
+
+        To keep cascades bounded, a push to a given (rule, requester) pair is
+        suppressed when the fragment has not changed since the last push to
+        that pair — the "delta optimisation" the paper leaves for future work.
+        ``force=True`` (used for the one-off closure notification) overrides
+        the suppression so dependants always learn about completeness.
+        """
+        node = self.node
+        state = node.state
+        fragment_cache: dict[str, Fragment] = {}
+        for entry in state.update_owner:
+            if entry.requester is None or entry.rule_id is None:
+                continue
+            rule = node.outgoing_rules.get(entry.rule_id)
+            if rule is None:
+                continue
+            fragment = fragment_cache.get(entry.rule_id)
+            if fragment is None:
+                fragment = evaluate_fragment(node, rule)
+                fragment_cache[entry.rule_id] = fragment
+            key = (entry.rule_id, entry.requester)
+            if not force and state.pushed_fragments.get(key) == fragment:
+                continue
+            state.pushed_fragments[key] = fragment
+            node.send(
+                entry.requester,
+                MessageType.ANSWER,
+                {
+                    "rule_id": entry.rule_id,
+                    "source": node.node_id,
+                    "tuples": fragment,
+                    "complete": state.state_u == UpdateState.CLOSED,
+                    "path": (node.node_id,),
+                },
+            )
+
+    # ---------------------------------------------------------------- local
+
+    def local_answer(self, rule: CoordinationRule) -> set[tuple]:
+        """Evaluate a whole rule against this node's database only.
+
+        Used by the baselines and by tests; the distributed protocol itself
+        always works fragment-wise.
+        """
+        query = rule.query
+        answers = set()
+        distinguished = rule.distinguished_variables
+        for binding in evaluate_body(self.node.database, query):
+            if _comparisons_hold(rule, binding):
+                answers.add(tuple(binding[v] for v in distinguished))
+        return answers

@@ -1,0 +1,57 @@
+"""In-memory relational engine used as every peer's local database (LDB).
+
+The paper assumes "all nodes are relational databases" whose coordination
+rules carry conjunctive queries in head and body.  This package provides the
+substrate the distributed algorithms run on:
+
+* :mod:`repro.database.schema` — relation schemas and database schemas (the
+  paper's DBS component),
+* :mod:`repro.database.relation` — set-semantics relations over immutable
+  tuples,
+* :mod:`repro.database.nulls` — labelled nulls / Skolem terms for existential
+  variables in rule heads,
+* :mod:`repro.database.query` — the conjunctive-query AST (atoms, variables,
+  constants, built-in comparison predicates),
+* :mod:`repro.database.evaluate` — evaluation of conjunctive queries over a
+  local database (backtracking join with simple index support),
+* :mod:`repro.database.parser` — a small textual syntax for queries and rules,
+* :mod:`repro.database.database` — :class:`LocalDatabase`, the per-peer store.
+"""
+
+from repro.database.schema import Attribute, RelationSchema, DatabaseSchema
+from repro.database.relation import Relation
+from repro.database.nulls import LabeledNull, SkolemFactory, is_null
+from repro.database.query import (
+    Variable,
+    Constant,
+    Term,
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+)
+from repro.database.evaluate import evaluate_query, evaluate_body, substitute
+from repro.database.parser import parse_atom, parse_query, parse_rule_text
+from repro.database.database import LocalDatabase
+
+__all__ = [
+    "Attribute",
+    "RelationSchema",
+    "DatabaseSchema",
+    "Relation",
+    "LabeledNull",
+    "SkolemFactory",
+    "is_null",
+    "Variable",
+    "Constant",
+    "Term",
+    "Atom",
+    "Comparison",
+    "ConjunctiveQuery",
+    "evaluate_query",
+    "evaluate_body",
+    "substitute",
+    "parse_atom",
+    "parse_query",
+    "parse_rule_text",
+    "LocalDatabase",
+]

@@ -1,0 +1,199 @@
+"""The per-peer local database (the paper's LDB behind the Wrapper).
+
+:class:`LocalDatabase` groups the relations of one peer, answers conjunctive
+queries, and applies the chase-style update step of algorithm A6
+(:meth:`LocalDatabase.apply_view_tuples`): given a rule head and a set of
+answer tuples for its distinguished variables, insert the corresponding head
+facts, inventing deterministic labelled nulls for existential variables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.database.evaluate import evaluate_body, evaluate_query
+from repro.database.nulls import SkolemFactory
+from repro.database.query import Atom, ConjunctiveQuery, Constant, Variable
+from repro.database.relation import Relation, Row
+from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.errors import QueryError, SchemaError
+
+
+class LocalDatabase:
+    """An in-memory relational database for one peer."""
+
+    def __init__(self, schema: DatabaseSchema | Iterable[RelationSchema] = ()):
+        if not isinstance(schema, DatabaseSchema):
+            schema = DatabaseSchema(schema)
+        self.schema = schema
+        self._relations: dict[str, Relation] = {
+            rel.name: Relation(rel) for rel in schema
+        }
+        self.skolems = SkolemFactory()
+
+    # ----------------------------------------------------------------- schema
+
+    def add_relation(self, relation_schema: RelationSchema) -> None:
+        """Add a new (empty) relation to the database."""
+        self.schema.add(relation_schema)
+        self._relations[relation_schema.name] = Relation(relation_schema)
+
+    def relation(self, name: str) -> Relation:
+        """Return the relation named ``name`` (raises :class:`SchemaError`)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relations(self) -> Iterator[Relation]:
+        """Iterate over all relations."""
+        return iter(self._relations.values())
+
+    # ----------------------------------------------------------------- facts
+
+    def insert(self, relation_name: str, row: Row) -> bool:
+        """Insert one row; returns True if the database changed."""
+        return self.relation(relation_name).insert(row)
+
+    def insert_many(self, relation_name: str, rows: Iterable[Row]) -> int:
+        """Insert many rows; returns the number of new rows."""
+        return self.relation(relation_name).insert_many(rows)
+
+    def delete(self, relation_name: str, row: Row) -> bool:
+        """Delete one row; returns True if it was present."""
+        return self.relation(relation_name).delete(row)
+
+    def total_rows(self) -> int:
+        """Total number of rows across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def facts(self) -> dict[str, frozenset[Row]]:
+        """A snapshot mapping relation name to its rows."""
+        return {name: rel.rows() for name, rel in self._relations.items()}
+
+    def clear(self) -> None:
+        """Remove every row from every relation and forget invented nulls."""
+        for relation in self._relations.values():
+            relation.clear()
+        self.skolems.reset()
+
+    # ----------------------------------------------------------------- queries
+
+    def query(self, query: ConjunctiveQuery) -> set[tuple]:
+        """Evaluate a conjunctive query against this database."""
+        return evaluate_query(self, query)
+
+    def bindings(self, query: ConjunctiveQuery) -> list[dict[Variable, object]]:
+        """All satisfying bindings of a query body (for debugging / tests)."""
+        return list(evaluate_body(self, query))
+
+    # ------------------------------------------------------------------ chase
+
+    def apply_view_tuples(
+        self,
+        rule_id: str,
+        head: Atom,
+        distinguished: tuple[Variable, ...],
+        answers: Iterable[tuple],
+    ) -> set[Row]:
+        """Algorithm A6 (`UpdateLocalData`): materialise head facts.
+
+        ``answers`` holds one tuple per firing, giving the values of the
+        ``distinguished`` (universally quantified) head variables; existential
+        head variables are filled with deterministic labelled nulls from the
+        Skolem factory.
+
+        Following the paper's pseudo-code ("if πR(t) ∉ R insert (πR(t)) into R
+        with new values for existential"), a firing is skipped when some
+        existing row already agrees with it on every *known* position — the
+        positions filled by constants or distinguished variables.  This check
+        is what makes the fix-point reachable on cyclic rule sets with
+        existential variables.
+
+        Returns the set of head rows that were actually new (empty set means
+        the local fix-point condition "no new data" holds for this batch).
+        """
+        if head.relation not in self.schema:
+            raise SchemaError(
+                f"rule {rule_id!r} targets unknown relation {head.relation!r}"
+            )
+        relation = self.relation(head.relation)
+        if relation.schema.arity != head.arity:
+            raise QueryError(
+                f"rule {rule_id!r} head {head} does not match the arity of "
+                f"relation {head.relation!r}"
+            )
+
+        distinguished_names = {variable.name for variable in distinguished}
+        known_positions = [
+            position
+            for position, term in enumerate(head.terms)
+            if isinstance(term, Constant) or term.name in distinguished_names
+        ]
+        has_existentials = len(known_positions) < head.arity
+
+        inserted: set[Row] = set()
+        for answer in answers:
+            if len(answer) != len(distinguished):
+                raise QueryError(
+                    f"answer {answer!r} does not match distinguished variables "
+                    f"{[str(v) for v in distinguished]} of rule {rule_id!r}"
+                )
+            binding: dict[str, object] = {
+                variable.name: value
+                for variable, value in zip(distinguished, answer)
+            }
+            row = []
+            for term in head.terms:
+                if isinstance(term, Constant):
+                    row.append(term.value)
+                elif term.name in binding:
+                    row.append(binding[term.name])
+                else:
+                    row.append(self.skolems.null_for(rule_id, term.name, binding))
+            row = tuple(row)
+            if has_existentials and self._projection_present(
+                relation, row, known_positions
+            ):
+                continue
+            if relation.insert(row):
+                inserted.add(row)
+        return inserted
+
+    @staticmethod
+    def _projection_present(
+        relation: Relation, row: Row, known_positions: list[int]
+    ) -> bool:
+        """True if some existing row agrees with ``row`` on all known positions."""
+        if not known_positions:
+            return len(relation) > 0
+        candidates = relation.lookup(known_positions[0], row[known_positions[0]])
+        for candidate in candidates:
+            if all(candidate[p] == row[p] for p in known_positions[1:]):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ misc
+
+    def copy(self) -> "LocalDatabase":
+        """A deep copy with independent relations (nulls are shared values)."""
+        clone = LocalDatabase(DatabaseSchema(list(self.schema)))
+        for name, relation in self._relations.items():
+            clone._relations[name] = relation.copy()
+        return clone
+
+    def snapshot(self) -> Mapping[str, frozenset[Row]]:
+        """Alias of :meth:`facts`, used by the experiment harness."""
+        return self.facts()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocalDatabase):
+            return NotImplemented
+        return self.facts() == other.facts()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}:{len(rel)}" for name, rel in self._relations.items())
+        return f"LocalDatabase({parts})"

@@ -1,0 +1,94 @@
+"""Labelled nulls (Skolem terms) for existential variables in rule heads.
+
+Coordination rules may contain existential variables in the head (the paper
+supports them "in a similar fashion to the algorithm of [Calvanese et al.,
+2003]").  The local update step A6 says to insert the projected tuple "with
+new values for existential" attributes.  Taken literally — a *fresh* value on
+every firing — a cyclic rule set would keep generating new tuples forever and
+the fix-point of Lemma 1 would never be reached.
+
+The standard fix, which we adopt and document in DESIGN.md, is
+*skolemisation*: the value invented for an existential head variable is a
+deterministic function of (rule id, variable name, binding of the universal
+head variables).  Re-firing the same rule on the same data reproduces the same
+labelled null, so the chase terminates, while distinct bindings still get
+distinct unknown values — which is exactly the intended "some unknown value"
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+
+@dataclass(frozen=True)
+class LabeledNull:
+    """An unknown value invented for an existential head variable.
+
+    Two labelled nulls are equal iff their labels are equal; the label encodes
+    the Skolem term (rule, variable, binding) that produced the null.
+    """
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+    def __repr__(self) -> str:
+        return f"LabeledNull({self.label!r})"
+
+
+def is_null(value: object) -> bool:
+    """True if ``value`` is a labelled null."""
+    return isinstance(value, LabeledNull)
+
+
+class SkolemFactory:
+    """Creates deterministic labelled nulls for existential head variables.
+
+    The factory is deterministic and stateless with respect to equality — the
+    same ``(rule_id, variable, binding)`` always yields an equal
+    :class:`LabeledNull` — but it keeps a cache so that repeated requests also
+    return the *same object*, and a counter so callers can ask how many
+    distinct nulls were invented (useful for experiment statistics).
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[str, LabeledNull] = {}
+
+    def null_for(
+        self,
+        rule_id: str,
+        variable: str,
+        binding: Mapping[str, Hashable],
+    ) -> LabeledNull:
+        """Return the labelled null for ``variable`` under ``binding``.
+
+        ``binding`` maps the universally quantified head variables of the rule
+        to the concrete values they take in the current firing.  Only the
+        binding content matters, not its ordering.
+        """
+        key_parts = [f"{name}={_render(value)}" for name, value in sorted(binding.items())]
+        label = f"{rule_id}/{variable}({','.join(key_parts)})"
+        null = self._cache.get(label)
+        if null is None:
+            null = LabeledNull(label)
+            self._cache[label] = null
+        return null
+
+    @property
+    def invented_count(self) -> int:
+        """Number of distinct labelled nulls invented so far."""
+        return len(self._cache)
+
+    def reset(self) -> None:
+        """Forget all invented nulls (used when an experiment resets a node)."""
+        self._cache.clear()
+
+
+def _render(value: Hashable) -> str:
+    """Render a binding value into the Skolem label unambiguously."""
+    if isinstance(value, LabeledNull):
+        return f"null[{value.label}]"
+    return f"{type(value).__name__}:{value}"

@@ -1,0 +1,194 @@
+"""A small textual syntax for atoms, queries and coordination rules.
+
+The paper writes rules such as::
+
+    r2 : B : b(X,Y), b(Y,Z) -> C : c(X,Z)
+    r4 : B : b(X,Y), b(X,Z), X != Z -> A : a(X,Y)
+
+This module parses exactly that style:
+
+* ``parse_atom("b(X, 'smith', 3)")`` → :class:`Atom`,
+* ``parse_query("a(X,Z) :- b(X,Y), c(Y,Z), X != Z")`` → :class:`ConjunctiveQuery`,
+* ``parse_rule_text("B: b(X,Y), b(Y,Z), X != Z -> C: c(X,Z)")`` →
+  ``(head_node, head_atom, body_literals, comparisons)`` where
+  ``body_literals`` is a list of ``(node, Atom)`` pairs.
+
+Conventions: identifiers starting with an upper-case letter are variables,
+quoted strings and integers are constants, and lower-case identifiers are
+string constants (handy for tiny examples).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.database.query import (
+    COMPARISON_OPERATORS,
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+)
+from repro.errors import QueryError
+
+_ATOM_RE = re.compile(r"^\s*(?:(?P<node>[A-Za-z_]\w*)\s*:\s*)?(?P<rel>[A-Za-z_]\w*)\s*\((?P<args>[^()]*)\)\s*$")
+_COMPARISON_RE = re.compile(
+    r"^\s*(?P<left>[^\s!<>=]+)\s*(?P<op>!=|<=|>=|=|<|>)\s*(?P<right>[^\s!<>=]+)\s*$"
+)
+
+
+def _parse_term(text: str) -> Term:
+    """Parse a single term: variable, quoted string, integer or bare constant."""
+    text = text.strip()
+    if not text:
+        raise QueryError("empty term")
+    if (text[0] == "'" and text[-1] == "'") or (text[0] == '"' and text[-1] == '"'):
+        return Constant(text[1:-1])
+    if re.fullmatch(r"-?\d+", text):
+        return Constant(int(text))
+    if re.fullmatch(r"[A-Za-z_]\w*", text) is None:
+        raise QueryError(f"cannot parse term {text!r}")
+    if text[0].isupper():
+        return Variable(text)
+    return Constant(text)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse an atom like ``b(X, Y)`` (a node prefix, if present, is ignored)."""
+    node, atom = parse_prefixed_atom(text)
+    return atom
+
+
+def parse_prefixed_atom(text: str) -> tuple[str | None, Atom]:
+    """Parse ``Node: rel(args)`` returning the optional node prefix and the atom."""
+    match = _ATOM_RE.match(text)
+    if match is None:
+        raise QueryError(f"cannot parse atom {text!r}")
+    args = match.group("args").strip()
+    terms = [_parse_term(part) for part in _split_arguments(args)] if args else []
+    return match.group("node"), Atom(match.group("rel"), terms)
+
+
+def _split_arguments(args: str) -> list[str]:
+    """Split an argument list on commas that are not inside quoted constants."""
+    parts: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    for char in args:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+            current.append(char)
+        elif char == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if quote is not None:
+        raise QueryError(f"unterminated quote in argument list {args!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def _split_literals(text: str) -> list[str]:
+    """Split a conjunction on commas that are not inside parentheses."""
+    literals: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryError(f"unbalanced parentheses in {text!r}")
+        if char == "," and depth == 0:
+            literals.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise QueryError(f"unbalanced parentheses in {text!r}")
+    if "".join(current).strip():
+        literals.append("".join(current))
+    return [literal.strip() for literal in literals if literal.strip()]
+
+
+def _parse_literal(text: str) -> tuple[str | None, Atom] | Comparison:
+    """Parse one literal: either a (possibly node-prefixed) atom or a comparison."""
+    if "(" in text:
+        return parse_prefixed_atom(text)
+    match = _COMPARISON_RE.match(text)
+    if match is None:
+        raise QueryError(f"cannot parse literal {text!r}")
+    operator = match.group("op")
+    if operator not in COMPARISON_OPERATORS:
+        raise QueryError(f"unsupported operator in literal {text!r}")
+    return Comparison(operator, _parse_term(match.group("left")), _parse_term(match.group("right")))
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse ``head :- body`` or a bare body conjunction into a query."""
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        head: Atom | None = parse_atom(head_text)
+    else:
+        head, body_text = None, text
+    atoms: list[Atom] = []
+    comparisons: list[Comparison] = []
+    for literal_text in _split_literals(body_text):
+        literal = _parse_literal(literal_text)
+        if isinstance(literal, Comparison):
+            comparisons.append(literal)
+        else:
+            atoms.append(literal[1])
+    if not atoms:
+        raise QueryError(f"query {text!r} has no body atoms")
+    return ConjunctiveQuery(head, atoms, comparisons)
+
+
+def parse_rule_text(
+    text: str,
+) -> tuple[str, Atom, list[tuple[str, Atom]], list[Comparison]]:
+    """Parse a coordination rule in the paper's arrow syntax.
+
+    Accepts both ``->`` and ``=>`` as the arrow.  The head *must* carry a node
+    prefix; body atoms may carry one each — a body atom without a prefix
+    inherits the prefix of the previous body atom (matching how the paper
+    writes ``B : b(X,Y), b(Y,Z) -> C : c(X,Z)``).
+
+    Returns ``(head_node, head_atom, body_literals, comparisons)``.
+    """
+    arrow = "->" if "->" in text else "=>"
+    if arrow not in text:
+        raise QueryError(f"rule {text!r} has no -> or => arrow")
+    body_text, head_text = text.rsplit(arrow, 1)
+
+    head_node, head_atom = parse_prefixed_atom(head_text)
+    if head_node is None:
+        raise QueryError(f"rule head {head_text.strip()!r} must be node-qualified")
+
+    body_literals: list[tuple[str, Atom]] = []
+    comparisons: list[Comparison] = []
+    current_node: str | None = None
+    for literal_text in _split_literals(body_text):
+        literal = _parse_literal(literal_text)
+        if isinstance(literal, Comparison):
+            comparisons.append(literal)
+            continue
+        node, atom = literal
+        if node is not None:
+            current_node = node
+        if current_node is None:
+            raise QueryError(
+                f"body atom {literal_text!r} has no node prefix and none to inherit"
+            )
+        body_literals.append((current_node, atom))
+    if not body_literals:
+        raise QueryError(f"rule {text!r} has an empty body")
+    return head_node, head_atom, body_literals, comparisons

@@ -1,0 +1,140 @@
+"""Set-semantics relations over immutable tuples.
+
+A :class:`Relation` is the extension of one relation schema at one peer.  The
+engine uses set semantics (the paper's update step only inserts a tuple when
+its projection is not already present), keeps insertion cheap, and maintains
+simple hash indexes on demand so that the backtracking join in
+:mod:`repro.database.evaluate` does not degrade to nested loops on the larger
+DBLP-sized workloads.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.database.schema import RelationSchema
+from repro.errors import SchemaError
+
+Row = tuple
+"""A database tuple; values are strings, ints or :class:`LabeledNull`."""
+
+
+class Relation:
+    """The extension of a relation schema: a set of rows plus optional indexes."""
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Row] = ()):
+        self.schema = schema
+        self._rows: set[Row] = set()
+        # position -> value -> set of rows; built lazily per position.
+        self._indexes: dict[int, dict[object, set[Row]]] = {}
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------ basic
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying relation schema."""
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def rows(self) -> frozenset[Row]:
+        """A snapshot of all rows."""
+        return frozenset(self._rows)
+
+    # ---------------------------------------------------------------- updates
+
+    def insert(self, row: Row) -> bool:
+        """Insert ``row``; return True if the relation changed.
+
+        The arity is validated against the schema; set semantics means a
+        duplicate insert is a no-op that returns False.
+        """
+        row = tuple(row)
+        self.schema.validate_tuple(row)
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        for position, index in self._indexes.items():
+            index[row[position]].add(row)
+        return True
+
+    def insert_many(self, rows: Iterable[Row]) -> int:
+        """Insert every row in ``rows``; return how many were actually new."""
+        return sum(1 for row in rows if self.insert(row))
+
+    def delete(self, row: Row) -> bool:
+        """Delete ``row``; return True if it was present."""
+        row = tuple(row)
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        for position, index in self._indexes.items():
+            bucket = index.get(row[position])
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del index[row[position]]
+        return True
+
+    def clear(self) -> None:
+        """Remove every row (indexes are dropped as well)."""
+        self._rows.clear()
+        self._indexes.clear()
+
+    # ---------------------------------------------------------------- lookups
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate over all rows (alias of ``iter`` for readability in joins)."""
+        return iter(self._rows)
+
+    def lookup(self, position: int, value: object) -> Iterator[Row]:
+        """Iterate over rows whose attribute at ``position`` equals ``value``.
+
+        Builds a hash index on ``position`` the first time it is used; later
+        lookups on the same position are O(matching rows).
+        """
+        if position < 0 or position >= self.schema.arity:
+            raise SchemaError(
+                f"position {position} out of range for relation {self.name!r}"
+            )
+        index = self._indexes.get(position)
+        if index is None:
+            index = defaultdict(set)
+            for row in self._rows:
+                index[row[position]].add(row)
+            self._indexes[position] = index
+        return iter(index.get(value, ()))
+
+    def project(self, positions: Iterable[int]) -> set[Row]:
+        """Return the projection of the relation onto ``positions``."""
+        positions = tuple(positions)
+        for position in positions:
+            if position < 0 or position >= self.schema.arity:
+                raise SchemaError(
+                    f"position {position} out of range for relation {self.name!r}"
+                )
+        return {tuple(row[p] for p in positions) for row in self._rows}
+
+    # ------------------------------------------------------------------ misc
+
+    def copy(self) -> "Relation":
+        """An independent copy sharing the (immutable) schema."""
+        return Relation(self.schema, self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema == other.schema and self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name}, {len(self._rows)} rows)"

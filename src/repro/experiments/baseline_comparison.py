@@ -1,0 +1,181 @@
+"""Experiment E9 — materialised update versus the alternatives.
+
+The introduction positions the update algorithm against two alternatives:
+
+* answering queries *at query time*, fetching distributed data on every query
+  ("requiring the participation of all nodes at query time"),
+* the *global* algorithm of the related work, which assumes a central node
+  performing all the computation.
+
+The experiment runs all three on the same workload and reports, for a batch
+of user queries issued at a leaf-most node:
+
+* messages paid by the distributed update (once) and per subsequent query
+  (zero — queries are answered locally),
+* messages paid by query-time answering for every query in the batch,
+* the centralized baseline's cost model (no messages, but every database must
+  be shipped to / accessible from one site — reported as tuples that would
+  need to be centralised).
+
+The acyclic single-pass baseline is also applied where the topology allows it
+to show it reaches the same fix-point on trees but fails on cyclic networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.acyclic import acyclic_update
+from repro.baselines.centralized import centralized_update
+from repro.baselines.querytime import query_time_answer
+from repro.core.fixpoint import ground_part
+from repro.database.parser import parse_query
+from repro.errors import ReproError
+from repro.experiments.runner import run_dblp_update
+from repro.stats.report import format_table
+from repro.workloads.topologies import TopologySpec, clique_topology, tree_topology
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Costs of the three strategies on one topology."""
+
+    topology: str
+    node_count: int
+    update_messages: int
+    update_time: float
+    querytime_messages_per_query: int
+    queries_in_batch: int
+    querytime_messages_total: int
+    centralized_tuples_to_ship: int
+    acyclic_applicable: bool
+    acyclic_matches: bool
+    answers_agree: bool
+
+    @property
+    def breakeven_queries(self) -> float:
+        """Number of queries after which materialisation is cheaper."""
+        if self.querytime_messages_per_query == 0:
+            return float("inf")
+        return self.update_messages / self.querytime_messages_per_query
+
+
+def _query_for_variant(variant: str) -> str:
+    if variant == "wide":
+        return "q(K) :- pub(K, T, A, Y, V)"
+    if variant == "split":
+        return "q(K) :- article(K, T, Y, V)"
+    return "q(K) :- work(K, T)"
+
+
+def run_baseline_comparison(
+    spec: TopologySpec,
+    *,
+    records_per_node: int = 20,
+    queries_in_batch: int = 10,
+    seed: int = 0,
+) -> BaselineComparison:
+    """Compare the distributed update with query-time and centralized answering."""
+    network, result = run_dblp_update(
+        spec, records_per_node=records_per_node, seed=seed, label=spec.name
+    )
+    schemas = network.schemas()
+    data = network.initial_data()
+    query_node = spec.nodes[0]
+    query = parse_query(_query_for_variant(spec.variant_of(query_node)))
+
+    local_answers = network.system.local_query(query_node, query)
+    query_time = query_time_answer(
+        schemas, network.rules, data, query_node, query
+    )
+    central = centralized_update(schemas, network.rules, data)
+    central_answers = central.databases[query_node].query(query)
+
+    try:
+        acyclic = acyclic_update(schemas, network.rules, data)
+        acyclic_applicable = True
+        acyclic_matches = ground_part(acyclic.snapshot()) == ground_part(
+            central.snapshot()
+        )
+    except ReproError:
+        acyclic_applicable = False
+        acyclic_matches = False
+
+    centralized_tuples = sum(
+        len(rows)
+        for node_rows in data.values()
+        for rows in node_rows.values()
+    )
+    return BaselineComparison(
+        topology=spec.name,
+        node_count=spec.node_count,
+        update_messages=result.update_messages,
+        update_time=result.update_time,
+        querytime_messages_per_query=query_time.messages,
+        queries_in_batch=queries_in_batch,
+        querytime_messages_total=query_time.messages * queries_in_batch,
+        centralized_tuples_to_ship=centralized_tuples,
+        acyclic_applicable=acyclic_applicable,
+        acyclic_matches=acyclic_matches,
+        answers_agree=(local_answers == set(query_time.answers) == central_answers),
+    )
+
+
+def run_all(
+    *, records_per_node: int = 20, queries_in_batch: int = 10, seed: int = 0
+) -> list[BaselineComparison]:
+    """Run the comparison on a tree (acyclic) and a clique (cyclic)."""
+    return [
+        run_baseline_comparison(
+            tree_topology(3, 2),
+            records_per_node=records_per_node,
+            queries_in_batch=queries_in_batch,
+            seed=seed,
+        ),
+        run_baseline_comparison(
+            clique_topology(5),
+            records_per_node=records_per_node,
+            queries_in_batch=queries_in_batch,
+            seed=seed,
+        ),
+    ]
+
+
+def main() -> str:
+    """Print the update vs query-time vs centralized comparison."""
+    comparisons = run_all()
+    rows = [
+        [
+            c.topology,
+            c.node_count,
+            c.update_messages,
+            c.querytime_messages_per_query,
+            c.querytime_messages_total,
+            f"{c.breakeven_queries:.1f}",
+            c.acyclic_applicable,
+            c.acyclic_matches,
+            c.answers_agree,
+        ]
+        for c in comparisons
+    ]
+    table = format_table(
+        [
+            "topology",
+            "nodes",
+            "update msgs (once)",
+            "query-time msgs/query",
+            f"query-time msgs ({comparisons[0].queries_in_batch} queries)",
+            "break-even #queries",
+            "acyclic applicable",
+            "acyclic matches",
+            "answers agree",
+        ],
+        rows,
+        title="E9 — materialised update vs query-time vs centralized",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

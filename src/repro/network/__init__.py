@@ -1,0 +1,41 @@
+"""Simulated P2P message substrate (the JXTA stand-in).
+
+The paper's prototype is built on JXTA, which provides peer naming, pipes,
+message envelopes and resource advertisements over an arbitrary physical
+network.  The distributed algorithms only rely on a small slice of that:
+asynchronous delivery of messages between named peers over per-acquaintance
+pipes.  This package provides exactly that slice as an in-process simulator:
+
+* :mod:`repro.network.message` — message envelopes and the protocol's message
+  types,
+* :mod:`repro.network.pipe` — pipes between acquainted peers, opened and
+  closed as coordination rules are added and dropped,
+* :mod:`repro.network.latency` — deterministic latency models used to assign
+  a simulated delivery delay to every message,
+* :mod:`repro.network.transport` — :class:`SyncTransport`, a deterministic
+  discrete-event transport (virtual clock), and :class:`AsyncTransport`, an
+  asyncio transport exercising the same handlers concurrently,
+* :mod:`repro.network.advertisement` — a minimal JXTA-like advertisement /
+  discovery service for peers and their shared schemas.
+"""
+
+from repro.network.message import Message, MessageType
+from repro.network.pipe import Pipe, PipeTable
+from repro.network.latency import ConstantLatency, UniformLatency, PerHopLatency
+from repro.network.transport import SyncTransport, AsyncTransport, BaseTransport
+from repro.network.advertisement import Advertisement, DiscoveryService
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "Pipe",
+    "PipeTable",
+    "ConstantLatency",
+    "UniformLatency",
+    "PerHopLatency",
+    "BaseTransport",
+    "SyncTransport",
+    "AsyncTransport",
+    "Advertisement",
+    "DiscoveryService",
+]

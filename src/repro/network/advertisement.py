@@ -1,0 +1,79 @@
+"""A minimal JXTA-like advertisement and discovery service.
+
+JXTA lets peers advertise resources (peers, pipes, peer groups, services) and
+discover them "in a distributed, decentralized environment".  The algorithms
+of the paper only need one piece of that machinery: a way for a freshly
+joining node to learn which peers exist and which relation schemas they share,
+so the super-peer can broadcast the coordination-rule file to everybody.
+
+:class:`DiscoveryService` is a deliberately simple registry — a lookup table
+shared by all peers of one simulated network.  Keeping it centralised is the
+same simplification real JXTA deployments make when they run a rendezvous
+peer, and it does not interact with the update/discovery algorithms, which
+never consult it once rules are installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """A peer's advertisement: its id, shared relation names and a group tag."""
+
+    peer_id: str
+    shared_relations: tuple[str, ...] = ()
+    group: str = "default"
+    attributes: tuple[tuple[str, str], ...] = field(default=())
+
+    def attribute(self, name: str, default: str | None = None) -> str | None:
+        """Look up a free-form attribute by name."""
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return default
+
+
+class DiscoveryService:
+    """Registry of peer advertisements for one simulated network."""
+
+    def __init__(self) -> None:
+        self._advertisements: dict[str, Advertisement] = {}
+
+    def publish(self, advertisement: Advertisement) -> None:
+        """Publish (or replace) the advertisement of a peer."""
+        self._advertisements[advertisement.peer_id] = advertisement
+
+    def withdraw(self, peer_id: str) -> None:
+        """Remove a peer's advertisement (peer leaves the network)."""
+        self._advertisements.pop(peer_id, None)
+
+    def lookup(self, peer_id: str) -> Advertisement | None:
+        """The advertisement of ``peer_id``, or None."""
+        return self._advertisements.get(peer_id)
+
+    def peers(self, group: str | None = None) -> tuple[str, ...]:
+        """Ids of all advertised peers, optionally restricted to a group."""
+        return tuple(
+            ad.peer_id
+            for ad in self._advertisements.values()
+            if group is None or ad.group == group
+        )
+
+    def peers_sharing(self, relation_name: str) -> tuple[str, ...]:
+        """Ids of peers that advertise ``relation_name`` in their shared schema."""
+        return tuple(
+            ad.peer_id
+            for ad in self._advertisements.values()
+            if relation_name in ad.shared_relations
+        )
+
+    def publish_all(self, advertisements: Iterable[Advertisement]) -> None:
+        """Publish a batch of advertisements."""
+        for advertisement in advertisements:
+            self.publish(advertisement)
+
+    def __len__(self) -> int:
+        return len(self._advertisements)

@@ -1,0 +1,88 @@
+"""Pipes between acquainted peers.
+
+In the prototype "when a node starts, it creates pipes with those nodes,
+w.r.t. which it has coordination rules, or which have coordination rules
+w.r.t. the given node.  Several coordination rules w.r.t. a given node can use
+one pipe [...].  If some coordination rules are dropped and a pipe becomes
+unassigned a coordination rule, then this pipe is also closed."
+
+:class:`PipeTable` reproduces exactly that life-cycle: one pipe per unordered
+pair of acquainted peers, reference-counted by the rules assigned to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PipeClosedError
+
+
+@dataclass
+class Pipe:
+    """A bidirectional communication link between two peers."""
+
+    endpoint_a: str
+    endpoint_b: str
+    rules: set[str] = field(default_factory=set)
+    closed: bool = False
+
+    @property
+    def endpoints(self) -> frozenset[str]:
+        """The unordered pair of peer ids this pipe connects."""
+        return frozenset((self.endpoint_a, self.endpoint_b))
+
+    def assign_rule(self, rule_id: str) -> None:
+        """Assign a coordination rule to the pipe (re-opens a closed pipe)."""
+        self.closed = False
+        self.rules.add(rule_id)
+
+    def unassign_rule(self, rule_id: str) -> None:
+        """Drop a rule from the pipe; the pipe closes when none remain."""
+        self.rules.discard(rule_id)
+        if not self.rules:
+            self.closed = True
+
+    def check_open(self) -> None:
+        """Raise :class:`PipeClosedError` when the pipe is closed."""
+        if self.closed:
+            raise PipeClosedError(
+                f"pipe {self.endpoint_a}<->{self.endpoint_b} is closed"
+            )
+
+
+class PipeTable:
+    """All pipes of one P2P system, keyed by the unordered peer pair."""
+
+    def __init__(self) -> None:
+        self._pipes: dict[frozenset[str], Pipe] = {}
+
+    def pipe_for(self, peer_a: str, peer_b: str) -> Pipe | None:
+        """The pipe between two peers, or None if it was never created."""
+        return self._pipes.get(frozenset((peer_a, peer_b)))
+
+    def ensure_pipe(self, peer_a: str, peer_b: str, rule_id: str) -> Pipe:
+        """Create (or re-open) the pipe between two peers and assign a rule."""
+        key = frozenset((peer_a, peer_b))
+        pipe = self._pipes.get(key)
+        if pipe is None:
+            pipe = Pipe(peer_a, peer_b)
+            self._pipes[key] = pipe
+        pipe.assign_rule(rule_id)
+        return pipe
+
+    def drop_rule(self, peer_a: str, peer_b: str, rule_id: str) -> Pipe | None:
+        """Unassign a rule from the pipe between two peers, closing it if empty."""
+        pipe = self.pipe_for(peer_a, peer_b)
+        if pipe is not None:
+            pipe.unassign_rule(rule_id)
+        return pipe
+
+    def open_pipes(self) -> list[Pipe]:
+        """All currently open pipes."""
+        return [pipe for pipe in self._pipes.values() if not pipe.closed]
+
+    def __len__(self) -> int:
+        return len(self._pipes)
+
+    def __repr__(self) -> str:
+        return f"PipeTable({len(self.open_pipes())} open / {len(self._pipes)} total)"

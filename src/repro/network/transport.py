@@ -1,0 +1,248 @@
+"""Message transports: a deterministic discrete-event one and an asyncio one.
+
+The paper's algorithm "is based on an asynchronous model of communications
+(while also supporting a synchronous alternative)".  Both models are provided
+over the same handler interface so the protocol code in :mod:`repro.core` is
+transport-agnostic:
+
+* :class:`SyncTransport` — a discrete-event simulator with a virtual clock.
+  Messages are delivered in (delivery time, sequence) order, handlers run to
+  completion one at a time, and :meth:`SyncTransport.run` drains the network
+  until quiescence.  This is the deterministic mode used by tests and
+  benchmarks; the virtual clock at quiescence is the experiment's
+  "execution time".
+* :class:`AsyncTransport` — an asyncio implementation where every delivery is
+  a separate task and latency is an ``asyncio.sleep``.  It exercises genuinely
+  interleaved handler execution and is what the asynchronous examples use.
+
+Handlers are synchronous callables ``handler(message) -> None`` that may call
+``transport.send`` while running; protocol state updates are local to a node,
+so running one handler at a time per node is all the isolation needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from typing import Callable
+
+from repro.errors import NetworkError, UnknownPeerError
+from repro.network.latency import ConstantLatency, LatencyModel
+from repro.network.message import Message
+from repro.stats.collector import StatisticsCollector
+
+Handler = Callable[[Message], None]
+
+
+class BaseTransport:
+    """Shared peer registry, latency model and statistics plumbing."""
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        stats: StatisticsCollector | None = None,
+    ):
+        self.latency = latency or ConstantLatency(1.0)
+        self.stats = stats or StatisticsCollector()
+        self._handlers: dict[str, Handler] = {}
+        self._trace: list[tuple[float, Message]] = []
+        self.trace_enabled = False
+
+    # ------------------------------------------------------------ registration
+
+    def register(self, node_id: str, handler: Handler) -> None:
+        """Register the message handler of peer ``node_id``."""
+        if node_id in self._handlers:
+            raise NetworkError(f"peer {node_id!r} is already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        """Remove a peer from the network (undelivered messages to it are dropped)."""
+        self._handlers.pop(node_id, None)
+
+    def is_registered(self, node_id: str) -> bool:
+        """True if ``node_id`` currently has a handler."""
+        return node_id in self._handlers
+
+    @property
+    def peers(self) -> tuple[str, ...]:
+        """All registered peer ids."""
+        return tuple(self._handlers)
+
+    # ----------------------------------------------------------------- tracing
+
+    def enable_trace(self) -> None:
+        """Record every delivered message with its delivery time (Figure 1 traces)."""
+        self.trace_enabled = True
+
+    @property
+    def trace(self) -> list[tuple[float, Message]]:
+        """The delivery trace recorded so far (empty unless tracing is enabled)."""
+        return list(self._trace)
+
+    def _handler_for(self, message: Message) -> Handler:
+        handler = self._handlers.get(message.recipient)
+        if handler is None:
+            raise UnknownPeerError(
+                f"message {message} addressed to unknown peer {message.recipient!r}"
+            )
+        return handler
+
+    def _deliver(self, message: Message, at_time: float) -> None:
+        """Run the recipient handler and account for the delivery."""
+        handler = self._handlers.get(message.recipient)
+        if handler is None:
+            # The peer left the network while the message was in flight; the
+            # dynamic-network semantics of Section 4 allows dropping it.
+            return
+        self.stats.record_message(
+            message.type.value, message.sender, message.recipient, message.size_estimate()
+        )
+        self.stats.advance_time(at_time)
+        if self.trace_enabled:
+            self._trace.append((at_time, message))
+        handler(message)
+
+    # --------------------------------------------------------------- interface
+
+    def send(self, message: Message) -> None:  # pragma: no cover - abstract
+        """Queue ``message`` for delivery."""
+        raise NotImplementedError
+
+
+class SyncTransport(BaseTransport):
+    """Deterministic discrete-event transport with a virtual clock."""
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        stats: StatisticsCollector | None = None,
+        max_messages: int = 1_000_000,
+    ):
+        super().__init__(latency=latency, stats=stats)
+        self._queue: list[tuple[float, int, Message]] = []
+        self.clock = 0.0
+        self.max_messages = max_messages
+        self.delivered_count = 0
+
+    def send(self, message: Message) -> None:
+        """Schedule ``message`` for delivery ``latency`` time units from now."""
+        if message.recipient not in self._handlers:
+            raise UnknownPeerError(
+                f"cannot send {message}: recipient is not registered"
+            )
+        delivery_time = self.clock + self.latency.delay_for(message)
+        heapq.heappush(self._queue, (delivery_time, message.sequence, message))
+
+    @property
+    def pending(self) -> int:
+        """Number of messages queued but not yet delivered."""
+        return len(self._queue)
+
+    def run(self) -> float:
+        """Deliver messages until the network is quiescent.
+
+        Returns the virtual-clock time of the last delivery — the simulated
+        execution time of whatever protocol phase was running.  Raises
+        :class:`NetworkError` if more than ``max_messages`` deliveries happen,
+        which indicates a non-terminating protocol (cf. Theorem 2(3)).
+        """
+        started = time.perf_counter()
+        while self._queue:
+            delivery_time, _sequence, message = heapq.heappop(self._queue)
+            self.clock = max(self.clock, delivery_time)
+            self.delivered_count += 1
+            if self.delivered_count > self.max_messages:
+                raise NetworkError(
+                    f"exceeded {self.max_messages} deliveries; "
+                    "the protocol does not appear to terminate"
+                )
+            self._deliver(message, self.clock)
+        self.stats.elapsed_wall_seconds += time.perf_counter() - started
+        return self.clock
+
+    def step(self) -> Message | None:
+        """Deliver exactly one message (or return None when quiescent)."""
+        if not self._queue:
+            return None
+        delivery_time, _sequence, message = heapq.heappop(self._queue)
+        self.clock = max(self.clock, delivery_time)
+        self.delivered_count += 1
+        self._deliver(message, self.clock)
+        return message
+
+
+class AsyncTransport(BaseTransport):
+    """Asyncio transport: every delivery is an independent task.
+
+    ``time_scale`` converts simulated latency units into wall-clock seconds so
+    that examples finish quickly (the default makes one latency unit one
+    millisecond).
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        stats: StatisticsCollector | None = None,
+        time_scale: float = 0.001,
+        max_messages: int = 1_000_000,
+    ):
+        super().__init__(latency=latency, stats=stats)
+        self.time_scale = time_scale
+        self.max_messages = max_messages
+        self.delivered_count = 0
+        self._in_flight = 0
+        self._quiescent = asyncio.Event()
+        self._quiescent.set()
+        self._start_time: float | None = None
+
+    def send(self, message: Message) -> None:
+        """Schedule an asynchronous delivery of ``message``."""
+        if message.recipient not in self._handlers:
+            raise UnknownPeerError(
+                f"cannot send {message}: recipient is not registered"
+            )
+        loop = asyncio.get_running_loop()
+        self._in_flight += 1
+        self._quiescent.clear()
+        loop.create_task(self._deliver_later(message))
+
+    async def _deliver_later(self, message: Message) -> None:
+        delay = self.latency.delay_for(message)
+        await asyncio.sleep(delay * self.time_scale)
+        try:
+            self.delivered_count += 1
+            if self.delivered_count > self.max_messages:
+                raise NetworkError(
+                    f"exceeded {self.max_messages} deliveries; "
+                    "the protocol does not appear to terminate"
+                )
+            now = time.perf_counter()
+            if self._start_time is None:
+                self._start_time = now
+            simulated = (now - self._start_time) / self.time_scale
+            self._deliver(message, simulated)
+        finally:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._quiescent.set()
+
+    async def wait_quiescent(self, timeout: float | None = None) -> None:
+        """Wait until no message is in flight (poll-free via an event)."""
+        while True:
+            if timeout is None:
+                await self._quiescent.wait()
+            else:
+                await asyncio.wait_for(self._quiescent.wait(), timeout)
+            # A handler triggered by the last delivery may have sent new
+            # messages between the event being set and us waking up; loop
+            # until the event is still set after a zero-length yield.
+            await asyncio.sleep(0)
+            if self._in_flight == 0:
+                return
+
+    @property
+    def pending(self) -> int:
+        """Number of deliveries currently in flight."""
+        return self._in_flight

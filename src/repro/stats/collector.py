@@ -1,0 +1,149 @@
+"""Counters for messages, queries, updates and transferred data.
+
+:class:`StatisticsCollector` plays the role of the per-node statistical module
+plus the super-peer's aggregation view of the paper's prototype: the transport
+reports every delivered message to it, and nodes report local query executions
+and local insertions.  Experiments read a :class:`StatsSnapshot` at the end of
+a run and the super-peer can reset all counters between runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MessageStats:
+    """Aggregated message-level counters."""
+
+    total_messages: int = 0
+    total_bytes: int = 0
+    by_type: Counter = field(default_factory=Counter)
+    bytes_by_type: Counter = field(default_factory=Counter)
+
+    def record(self, message_type: str, size: int) -> None:
+        """Account for one delivered message of ``message_type`` and ``size`` bytes."""
+        self.total_messages += 1
+        self.total_bytes += size
+        self.by_type[message_type] += 1
+        self.bytes_by_type[message_type] += size
+
+
+@dataclass
+class NodeStats:
+    """Per-node counters (one instance per peer)."""
+
+    queries_executed: int = 0
+    updates_applied: int = 0
+    tuples_received: int = 0
+    tuples_inserted: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    duplicate_queries: int = 0
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable snapshot of all counters at one point in (simulated) time."""
+
+    messages: MessageStats
+    nodes: dict[str, NodeStats]
+    simulated_time: float
+    elapsed_wall_seconds: float
+
+    @property
+    def total_messages(self) -> int:
+        """Total delivered messages."""
+        return self.messages.total_messages
+
+    @property
+    def total_tuples_transferred(self) -> int:
+        """Sum of tuples received across all nodes."""
+        return sum(node.tuples_received for node in self.nodes.values())
+
+    @property
+    def total_tuples_inserted(self) -> int:
+        """Sum of tuples actually inserted across all nodes."""
+        return sum(node.tuples_inserted for node in self.nodes.values())
+
+    @property
+    def total_queries_executed(self) -> int:
+        """Sum of local query executions across all nodes."""
+        return sum(node.queries_executed for node in self.nodes.values())
+
+    @property
+    def total_duplicate_queries(self) -> int:
+        """Queries received more than once for the same original request."""
+        return sum(node.duplicate_queries for node in self.nodes.values())
+
+
+class StatisticsCollector:
+    """Mutable counters shared by the transport and all nodes of one system."""
+
+    def __init__(self) -> None:
+        self.messages = MessageStats()
+        self._nodes: dict[str, NodeStats] = defaultdict(NodeStats)
+        self.simulated_time = 0.0
+        self.elapsed_wall_seconds = 0.0
+
+    # --------------------------------------------------------------- recording
+
+    def node(self, node_id: str) -> NodeStats:
+        """The per-node counters for ``node_id`` (created on first access)."""
+        return self._nodes[node_id]
+
+    def record_message(
+        self, message_type: str, sender: str, recipient: str, size: int
+    ) -> None:
+        """Record one message delivery (called by the transport)."""
+        self.messages.record(message_type, size)
+        self._nodes[sender].messages_sent += 1
+        self._nodes[recipient].messages_received += 1
+
+    def record_query(self, node_id: str, *, duplicate: bool = False) -> None:
+        """Record a local query execution at ``node_id``."""
+        self._nodes[node_id].queries_executed += 1
+        if duplicate:
+            self._nodes[node_id].duplicate_queries += 1
+
+    def record_update(
+        self, node_id: str, *, received: int, inserted: int
+    ) -> None:
+        """Record one local-update application at ``node_id``."""
+        stats = self._nodes[node_id]
+        stats.updates_applied += 1
+        stats.tuples_received += received
+        stats.tuples_inserted += inserted
+
+    def advance_time(self, simulated_time: float) -> None:
+        """Advance the simulated clock to ``simulated_time`` (monotonic)."""
+        if simulated_time > self.simulated_time:
+            self.simulated_time = simulated_time
+
+    # ------------------------------------------------------------- inspection
+
+    def snapshot(self) -> StatsSnapshot:
+        """An immutable copy of all counters."""
+        messages = MessageStats(
+            total_messages=self.messages.total_messages,
+            total_bytes=self.messages.total_bytes,
+            by_type=Counter(self.messages.by_type),
+            bytes_by_type=Counter(self.messages.bytes_by_type),
+        )
+        nodes = {
+            node_id: NodeStats(**vars(stats)) for node_id, stats in self._nodes.items()
+        }
+        return StatsSnapshot(
+            messages=messages,
+            nodes=nodes,
+            simulated_time=self.simulated_time,
+            elapsed_wall_seconds=self.elapsed_wall_seconds,
+        )
+
+    def reset(self) -> None:
+        """Reset every counter (the super-peer's "reset statistics at all peers")."""
+        self.messages = MessageStats()
+        self._nodes.clear()
+        self.simulated_time = 0.0
+        self.elapsed_wall_seconds = 0.0

@@ -1,0 +1,156 @@
+"""Synthetic DBLP-like publication data and the three relational schema variants.
+
+The paper's experiments load DBLP publication records into peers that use "3
+different relational schemas".  The XML dump is not redistributable here, so
+:class:`DblpGenerator` produces deterministic synthetic records with the same
+shape — a publication key, title, one author, a venue and a year — and this
+module defines three schema variants of increasing normalisation:
+
+* ``wide`` — one relation ``pub(key, title, author, year, venue)``,
+* ``split`` — ``article(key, title, year, venue)`` + ``authored(key, author)``,
+* ``norm`` — ``work(key, title)`` + ``venue_of(key, venue, year)`` +
+  ``author_of(key, author)``.
+
+Coordination rules between nodes with different variants therefore involve
+real joins in their bodies and multiple head relations per edge, exactly the
+kind of heterogeneity the prototype's experiments exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.database.relation import Row
+from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.errors import ReproError
+
+#: The names of the three schema variants, in the order nodes cycle through them.
+SCHEMA_VARIANTS = ("wide", "split", "norm")
+
+_FIRST_NAMES = (
+    "alice", "bob", "carla", "dmitri", "elena", "fausto", "gabriel", "hanna",
+    "ilya", "jun", "katia", "luca", "maria", "nikos", "olga", "paolo",
+)
+_LAST_NAMES = (
+    "rossi", "smith", "kuznetsov", "papadimitriou", "tanaka", "muller",
+    "garcia", "silva", "novak", "haddad", "jensen", "kim", "moreau", "zanon",
+)
+_VENUES = (
+    "VLDB", "SIGMOD", "ICDE", "EDBT", "PODS", "CIKM", "WebDB", "P2PDB",
+    "ICDT", "DEXA",
+)
+_TITLE_WORDS = (
+    "adaptive", "distributed", "robust", "semantic", "scalable", "peer",
+    "query", "update", "exchange", "integration", "coordination", "schema",
+    "network", "stream", "index", "view", "materialized", "consistency",
+)
+
+
+@dataclass(frozen=True)
+class PublicationRecord:
+    """One synthetic DBLP entry (one author per record, as in author lists flattened)."""
+
+    key: str
+    title: str
+    author: str
+    year: int
+    venue: str
+
+    def as_tuple(self) -> Row:
+        """The record as a wide tuple (key, title, author, year, venue)."""
+        return (self.key, self.title, self.author, self.year, self.venue)
+
+
+class DblpGenerator:
+    """Deterministic generator of synthetic DBLP-like records."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def generate(self, count: int, *, start_index: int = 0) -> list[PublicationRecord]:
+        """Generate ``count`` records; ``start_index`` offsets the key space.
+
+        Records are deterministic in (seed, index), so two generators with the
+        same seed produce identical overlapping ranges — which is how the
+        distribution module creates controlled intersections between nodes.
+        """
+        records = []
+        for index in range(start_index, start_index + count):
+            rng = random.Random(f"{self.seed}-{index}")
+            first = rng.choice(_FIRST_NAMES)
+            last = rng.choice(_LAST_NAMES)
+            venue = rng.choice(_VENUES)
+            year = rng.randint(1994, 2004)
+            words = rng.sample(_TITLE_WORDS, 3)
+            records.append(
+                PublicationRecord(
+                    key=f"{venue.lower()}/{last}{index}",
+                    title=" ".join(words),
+                    author=f"{first} {last}",
+                    year=year,
+                    venue=venue,
+                )
+            )
+        return records
+
+
+# --------------------------------------------------------------------- schemas
+
+
+def schema_for_variant(variant: str) -> DatabaseSchema:
+    """The :class:`DatabaseSchema` of one of the three variants."""
+    if variant == "wide":
+        return DatabaseSchema(
+            [
+                RelationSchema(
+                    "pub", ["key", "title", "author", "year", "venue"]
+                )
+            ]
+        )
+    if variant == "split":
+        return DatabaseSchema(
+            [
+                RelationSchema("article", ["key", "title", "year", "venue"]),
+                RelationSchema("authored", ["key", "author"]),
+            ]
+        )
+    if variant == "norm":
+        return DatabaseSchema(
+            [
+                RelationSchema("work", ["key", "title"]),
+                RelationSchema("venue_of", ["key", "venue", "year"]),
+                RelationSchema("author_of", ["key", "author"]),
+            ]
+        )
+    raise ReproError(f"unknown schema variant {variant!r}")
+
+
+def rows_for_variant(
+    records: list[PublicationRecord], variant: str
+) -> dict[str, list[Row]]:
+    """Render records into the relations of a schema variant."""
+    if variant == "wide":
+        return {"pub": [record.as_tuple() for record in records]}
+    if variant == "split":
+        return {
+            "article": [
+                (record.key, record.title, record.year, record.venue)
+                for record in records
+            ],
+            "authored": [(record.key, record.author) for record in records],
+        }
+    if variant == "norm":
+        return {
+            "work": [(record.key, record.title) for record in records],
+            "venue_of": [
+                (record.key, record.venue, record.year) for record in records
+            ],
+            "author_of": [(record.key, record.author) for record in records],
+        }
+    raise ReproError(f"unknown schema variant {variant!r}")
+
+
+def variant_for_node_index(index: int) -> str:
+    """Round-robin assignment of the three schema variants to node indexes."""
+    return SCHEMA_VARIANTS[index % len(SCHEMA_VARIANTS)]

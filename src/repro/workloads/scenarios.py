@@ -1,0 +1,184 @@
+"""Packaged scenarios: the paper's running example and DBLP sharing networks.
+
+Two scenario families are provided:
+
+* the 5-node example of Section 2 (nodes A–E, rules r1–r7), used by the
+  dependency-path experiment (E1), the execution-trace experiment (E2) and a
+  large part of the test-suite,
+* parametric DBLP sharing networks (:func:`build_dblp_network`) combining a
+  topology, the three schema variants, a data distribution and a ready
+  :class:`~repro.core.system.P2PSystem` — the configuration of the paper's
+  scalability experiments (E3–E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coordination.rule import CoordinationRule, NodeId, rule_from_text
+from repro.core.system import P2PSystem
+from repro.database.relation import Row
+from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.network.latency import LatencyModel
+from repro.workloads.dblp import PublicationRecord, rows_for_variant, schema_for_variant
+from repro.workloads.distributions import distribute_records
+from repro.workloads.topologies import TopologySpec, coordination_rules_for
+
+
+# ----------------------------------------------------------- the paper example
+
+
+def paper_example_schemas() -> dict[NodeId, DatabaseSchema]:
+    """Schemas of the Section 2 example: A:a/2, B:b/2, C:c/2+f/1, D:d/2, E:e/2."""
+    return {
+        "A": DatabaseSchema([RelationSchema("a", ["x", "y"])]),
+        "B": DatabaseSchema([RelationSchema("b", ["x", "y"])]),
+        "C": DatabaseSchema(
+            [RelationSchema("c", ["x", "y"]), RelationSchema("f", ["x"])]
+        ),
+        "D": DatabaseSchema([RelationSchema("d", ["x", "y"])]),
+        "E": DatabaseSchema([RelationSchema("e", ["x", "y"])]),
+    }
+
+
+def paper_example_rules() -> list[CoordinationRule]:
+    """The seven coordination rules r1–r7 of the Section 2 example.
+
+    The technical report's listing of r2 and r7 contains obvious typos
+    (``b(Y), Z`` for ``b(Y, Z)`` and upper-case relation names); the corrected
+    reading used here matches the dependency edges and paths the paper derives
+    from the rules.
+    """
+    return [
+        rule_from_text("r1", "E: e(X, Y) -> B: b(X, Y)"),
+        rule_from_text("r2", "B: b(X, Y), b(Y, Z) -> C: c(X, Z)"),
+        rule_from_text("r3", "C: c(X, Y), c(Y, Z) -> B: b(X, Z)"),
+        rule_from_text("r4", "B: b(X, Y), b(X, Z), X != Z -> A: a(X, Y)"),
+        rule_from_text("r5", "A: a(X, Y) -> C: f(X)"),
+        rule_from_text("r6", "A: a(X, Y) -> D: d(Y, X)"),
+        rule_from_text("r7", "D: d(X, Y), d(Y, Z) -> C: c(X, Y)"),
+    ]
+
+
+def paper_example_data() -> dict[NodeId, dict[str, list[Row]]]:
+    """Small initial data making every rule of the example fire at least once."""
+    return {
+        "A": {"a": [("a1", "a2")]},
+        "B": {"b": [("m", "n"), ("n", "p"), ("m", "q")]},
+        "C": {"c": [("u", "v"), ("v", "w")], "f": []},
+        "D": {"d": [("k1", "k2"), ("k2", "k3")]},
+        "E": {"e": [("s", "t"), ("t", "z")]},
+    }
+
+
+def build_paper_example(
+    *,
+    transport: str = "sync",
+    propagation: str = "per_path",
+    with_data: bool = True,
+    latency: LatencyModel | None = None,
+) -> P2PSystem:
+    """Build the Section 2 example as a ready-to-run system.
+
+    The faithful ``per_path`` propagation policy is the default here because
+    the example is small and the execution-trace experiment (Figure 1) wants
+    the duplicate queries the paper's statistics module counts.
+    """
+    return P2PSystem.build(
+        paper_example_schemas(),
+        paper_example_rules(),
+        paper_example_data() if with_data else None,
+        transport=transport,
+        propagation=propagation,
+        latency=latency,
+        super_peer="A",
+    )
+
+
+# -------------------------------------------------------------- DBLP networks
+
+
+@dataclass
+class DblpNetwork:
+    """A fully assembled DBLP sharing network plus its building blocks."""
+
+    system: P2PSystem
+    spec: TopologySpec
+    rules: list[CoordinationRule]
+    assignment: dict[NodeId, list[PublicationRecord]]
+    records_per_node: int
+    overlap_probability: float
+
+    @property
+    def total_records(self) -> int:
+        """Total number of records initially loaded (with duplicates)."""
+        return sum(len(records) for records in self.assignment.values())
+
+    def schemas(self) -> dict[NodeId, DatabaseSchema]:
+        """Per-node schemas (re-created; used by the verification helpers)."""
+        return {
+            node: schema_for_variant(self.spec.variant_of(node))
+            for node in self.spec.nodes
+        }
+
+    def initial_data(self) -> dict[NodeId, dict[str, list[Row]]]:
+        """Per-node initial rows (re-created; used by the verification helpers)."""
+        return {
+            node: rows_for_variant(records, self.spec.variant_of(node))
+            for node, records in self.assignment.items()
+        }
+
+
+def build_dblp_network(
+    spec: TopologySpec,
+    *,
+    records_per_node: int = 100,
+    overlap_probability: float = 0.0,
+    overlap_fraction: float = 0.5,
+    seed: int = 0,
+    transport: str = "sync",
+    propagation: str = "once",
+    latency: LatencyModel | None = None,
+    max_messages: int = 2_000_000,
+) -> DblpNetwork:
+    """Assemble a DBLP sharing network for a given topology.
+
+    This is the workload of the paper's Section 5 experiments: every node gets
+    ``records_per_node`` synthetic publications rendered in its schema
+    variant, acquainted nodes may share data with ``overlap_probability``, and
+    the coordination rules translate between the variants along every import
+    edge.
+    """
+    rules = coordination_rules_for(spec)
+    assignment = distribute_records(
+        spec,
+        records_per_node,
+        overlap_probability=overlap_probability,
+        overlap_fraction=overlap_fraction,
+        seed=seed,
+    )
+    schemas = {
+        node: schema_for_variant(spec.variant_of(node)) for node in spec.nodes
+    }
+    data = {
+        node: rows_for_variant(records, spec.variant_of(node))
+        for node, records in assignment.items()
+    }
+    system = P2PSystem.build(
+        schemas,
+        rules,
+        data,
+        transport=transport,
+        propagation=propagation,
+        latency=latency,
+        super_peer=spec.nodes[0],
+        max_messages=max_messages,
+    )
+    return DblpNetwork(
+        system=system,
+        spec=spec,
+        rules=rules,
+        assignment=assignment,
+        records_per_node=records_per_node,
+        overlap_probability=overlap_probability,
+    )

@@ -1,0 +1,113 @@
+"""Integration tests on the DBLP workload networks (the Section 5 configuration)."""
+
+import pytest
+
+from repro.core.fixpoint import all_nodes_closed, verify_against_centralized
+from repro.core.superpeer import SuperPeer
+from repro.database.parser import parse_query
+from repro.workloads.scenarios import build_dblp_network
+from repro.workloads.topologies import (
+    clique_topology,
+    layered_topology,
+    star_topology,
+    tree_topology,
+)
+
+
+def run_network(spec, **kwargs):
+    network = build_dblp_network(spec, **kwargs)
+    super_peer = SuperPeer(network.system)
+    super_peer.run_discovery()
+    super_peer.run_global_update()
+    return network
+
+
+class TestTreeNetwork:
+    def test_small_tree_matches_centralized(self):
+        network = run_network(tree_topology(2, 2), records_per_node=10)
+        report = verify_against_centralized(
+            network.system, network.schemas(), network.rules, network.initial_data()
+        )
+        assert report.ok
+        assert all_nodes_closed(network.system)
+
+    def test_root_accumulates_every_publication(self):
+        spec = tree_topology(2, 2)
+        network = run_network(spec, records_per_node=10)
+        root = spec.nodes[0]  # wide variant
+        answers = network.system.local_query(
+            root, parse_query("q(K) :- pub(K, T, A, Y, V)")
+        )
+        distinct_keys = {
+            record.key for records in network.assignment.values() for record in records
+        }
+        assert len(answers) == len(distinct_keys)
+
+    def test_leaves_keep_only_their_own_records(self):
+        spec = tree_topology(2, 2)
+        network = run_network(spec, records_per_node=10)
+        leaf = spec.nodes[-1]
+        leaf_keys_before = {record.key for record in network.assignment[leaf]}
+        variant = spec.variant_of(leaf)
+        relation = {"wide": "pub", "split": "article", "norm": "work"}[variant]
+        rows = network.system.node(leaf).database.relation(relation).rows()
+        assert len(rows) == len(leaf_keys_before)
+
+
+class TestOtherTopologies:
+    def test_star_network(self):
+        network = run_network(star_topology(4), records_per_node=10)
+        report = verify_against_centralized(
+            network.system, network.schemas(), network.rules, network.initial_data()
+        )
+        assert report.ok
+
+    def test_layered_network(self):
+        network = run_network(layered_topology(2, width=2, seed=1), records_per_node=10)
+        report = verify_against_centralized(
+            network.system, network.schemas(), network.rules, network.initial_data()
+        )
+        assert report.ok
+
+    def test_small_clique_every_node_gets_everything(self):
+        spec = clique_topology(4)
+        network = run_network(spec, records_per_node=8)
+        distinct_keys = {
+            record.key for records in network.assignment.values() for record in records
+        }
+        for node in spec.nodes:
+            variant = spec.variant_of(node)
+            relation = {"wide": "pub", "split": "article", "norm": "work"}[variant]
+            rows = network.system.node(node).database.relation(relation).rows()
+            assert len(rows) == len(distinct_keys)
+        assert all_nodes_closed(network.system)
+
+    @pytest.mark.slow
+    def test_tree_of_31_nodes(self):
+        network = run_network(tree_topology(4, 2), records_per_node=15)
+        assert all_nodes_closed(network.system)
+        report = verify_against_centralized(
+            network.system, network.schemas(), network.rules, network.initial_data()
+        )
+        assert report.ok
+
+
+class TestOverlapDistribution:
+    def test_overlap_reduces_inserted_tuples(self):
+        spec = tree_topology(2, 2)
+        disjoint = run_network(spec, records_per_node=20, overlap_probability=0.0)
+        overlapping = run_network(
+            spec, records_per_node=20, overlap_probability=1.0, overlap_fraction=0.5
+        )
+        inserted_disjoint = disjoint.system.snapshot_stats().total_tuples_inserted
+        inserted_overlap = overlapping.system.snapshot_stats().total_tuples_inserted
+        assert inserted_overlap < inserted_disjoint
+
+    def test_overlap_network_still_correct(self):
+        network = run_network(
+            tree_topology(2, 2), records_per_node=10, overlap_probability=0.5
+        )
+        report = verify_against_centralized(
+            network.system, network.schemas(), network.rules, network.initial_data()
+        )
+        assert report.ok

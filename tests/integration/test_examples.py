@@ -1,0 +1,45 @@
+"""The example scripts must run end-to-end (they double as acceptance tests)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "portal catalogue" in result.stdout
+
+    def test_paper_example(self):
+        result = run_example("paper_example.py")
+        assert result.returncode == 0, result.stderr
+        assert "matches the centralized fix-point: True" in result.stdout
+
+    def test_dblp_sharing(self):
+        result = run_example("dblp_sharing.py", "20")
+        assert result.returncode == 0, result.stderr
+        assert "answers locally" in result.stdout
+
+    def test_dynamic_network(self):
+        result = run_example("dynamic_network.py")
+        assert result.returncode == 0, result.stderr
+        assert "sound" in result.stdout and "True" in result.stdout
+
+    def test_async_network(self):
+        result = run_example("async_network.py")
+        assert result.returncode == 0, result.stderr
+        assert "same ground fix-point: True" in result.stdout

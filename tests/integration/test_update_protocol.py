@@ -1,0 +1,191 @@
+"""Integration tests of the update protocol on controlled small networks."""
+
+import pytest
+
+from repro.baselines.centralized import centralized_update
+from repro.coordination.rule import rule_from_text
+from repro.core.fixpoint import all_nodes_closed, ground_part, verify_against_centralized
+from repro.core.system import P2PSystem
+from repro.core.update import join_fragments
+from repro.database.nulls import is_null
+from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.network.message import MessageType
+
+
+def item_schemas(*names):
+    return {
+        name: DatabaseSchema([RelationSchema("item", ["x", "y"])]) for name in names
+    }
+
+
+class TestChainPropagation:
+    def test_data_reaches_the_root(self, chain_system):
+        chain_system.run_global_update()
+        assert chain_system.node("a").database.relation("item").rows() == {
+            ("1", "2"),
+            ("3", "4"),
+        }
+
+    def test_all_nodes_close(self, chain_system):
+        chain_system.run_global_update()
+        assert all_nodes_closed(chain_system)
+
+    def test_message_counts_are_bounded(self, chain_system):
+        chain_system.run_global_update()
+        stats = chain_system.snapshot_stats()
+        # 2 rules, each needs at least one query+answer; pushes and re-pull
+        # rounds stay within a small constant factor.
+        assert stats.messages.by_type[MessageType.QUERY.value] >= 2
+        assert stats.total_messages <= 40
+
+    def test_leaf_node_unchanged(self, chain_system):
+        chain_system.run_global_update()
+        assert chain_system.node("c").database.relation("item").rows() == {
+            ("1", "2"),
+            ("3", "4"),
+        }
+
+
+class TestCyclicTwoNodeNetwork:
+    def build(self):
+        schemas = item_schemas("a", "b")
+        rules = [
+            rule_from_text("ab", "b: item(X, Y) -> a: item(X, Y)"),
+            rule_from_text("ba", "a: item(X, Y) -> b: item(X, Y)"),
+        ]
+        data = {"a": {"item": [("a1", "a2")]}, "b": {"item": [("b1", "b2")]}}
+        return P2PSystem.build(schemas, rules, data), schemas, rules, data
+
+    def test_both_nodes_get_both_facts(self):
+        system, schemas, rules, data = self.build()
+        system.run_global_update()
+        expected = {("a1", "a2"), ("b1", "b2")}
+        assert system.node("a").database.relation("item").rows() == expected
+        assert system.node("b").database.relation("item").rows() == expected
+
+    def test_cycle_terminates_and_closes(self):
+        system, *_ = self.build()
+        system.run_global_update()
+        assert all_nodes_closed(system)
+
+    def test_matches_centralized(self):
+        system, schemas, rules, data = self.build()
+        system.run_global_update()
+        assert verify_against_centralized(system, schemas, rules, data).ok
+
+
+class TestMultiSourceRule:
+    def build(self):
+        schemas = {
+            "a": DatabaseSchema([RelationSchema("joined", ["x", "z"])]),
+            "b": DatabaseSchema([RelationSchema("left", ["x", "y"])]),
+            "c": DatabaseSchema([RelationSchema("right", ["y", "z"])]),
+        }
+        rules = [
+            rule_from_text("j", "b: left(X, Y), c: right(Y, Z) -> a: joined(X, Z)")
+        ]
+        data = {
+            "b": {"left": [("1", "k"), ("2", "m")]},
+            "c": {"right": [("k", "9"), ("k", "8")]},
+        }
+        return P2PSystem.build(schemas, rules, data), schemas, rules, data
+
+    def test_cross_peer_join(self):
+        system, *_ = self.build()
+        system.run_global_update()
+        assert system.node("a").database.relation("joined").rows() == {
+            ("1", "9"),
+            ("1", "8"),
+        }
+
+    def test_matches_centralized(self):
+        system, schemas, rules, data = self.build()
+        system.run_global_update()
+        assert verify_against_centralized(system, schemas, rules, data).ok
+
+    def test_join_fragments_requires_all_sources(self):
+        rule = rule_from_text(
+            "j", "b: left(X, Y), c: right(Y, Z) -> a: joined(X, Z)"
+        )
+        only_left = {"b": {("1", "k")}}
+        assert join_fragments(rule, only_left) == set()
+        both = {"b": {("1", "k")}, "c": {("k", "9")}}
+        assert join_fragments(rule, both) == {("1", "9")}
+
+
+class TestExistentialRules:
+    def test_existential_chain_terminates(self):
+        schemas = {
+            "a": DatabaseSchema([RelationSchema("person", ["name", "org"])]),
+            "b": DatabaseSchema([RelationSchema("author", ["name"])]),
+        }
+        rules = [rule_from_text("r", "b: author(X) -> a: person(X, O)")]
+        data = {"b": {"author": [("ada",), ("bob",)]}}
+        system = P2PSystem.build(schemas, rules, data)
+        system.run_global_update()
+        rows = system.node("a").database.relation("person").rows()
+        assert len(rows) == 2
+        assert all(is_null(org) for _name, org in rows)
+        assert all_nodes_closed(system)
+
+    def test_existential_cycle_terminates(self):
+        # a imports from b and b imports from a, both inventing unknown values;
+        # the projection check of A6 prevents an infinite chase.
+        schemas = item_schemas("a", "b")
+        rules = [
+            rule_from_text("ab", "b: item(X, Y) -> a: item(Y, Z)"),
+            rule_from_text("ba", "a: item(X, Y) -> b: item(Y, Z)"),
+        ]
+        data = {"a": {"item": [("x0", "x1")]}}
+        system = P2PSystem.build(schemas, rules, data)
+        system.run_global_update()
+        assert all_nodes_closed(system)
+        # Ground part matches the centralized chase with the same check.
+        reference = centralized_update(schemas, rules, data).snapshot()
+        assert ground_part(system.databases()) == ground_part(reference)
+
+
+class TestBuiltinsInRules:
+    def test_inequality_filters_imported_tuples(self):
+        schemas = item_schemas("a", "b")
+        rules = [rule_from_text("r", "b: item(X, Y), X != Y -> a: item(X, Y)")]
+        data = {"b": {"item": [("1", "1"), ("1", "2")]}}
+        system = P2PSystem.build(schemas, rules, data)
+        system.run_global_update()
+        assert system.node("a").database.relation("item").rows() == {("1", "2")}
+
+    def test_ordering_builtin(self):
+        schemas = {
+            "a": DatabaseSchema([RelationSchema("recent", ["k", "y"])]),
+            "b": DatabaseSchema([RelationSchema("pub", ["k", "y"])]),
+        }
+        rules = [rule_from_text("r", "b: pub(K, Y), Y >= 2000 -> a: recent(K, Y)")]
+        data = {"b": {"pub": [("p1", 1998), ("p2", 2003)]}}
+        system = P2PSystem.build(schemas, rules, data)
+        system.run_global_update()
+        assert system.node("a").database.relation("recent").rows() == {("p2", 2003)}
+
+
+class TestNodesWithoutRules:
+    def test_isolated_node_closes_without_messages(self):
+        schemas = item_schemas("a", "b", "lonely")
+        rules = [rule_from_text("ab", "b: item(X, Y) -> a: item(X, Y)")]
+        data = {"b": {"item": [("1", "2")]}, "lonely": {"item": [("9", "9")]}}
+        system = P2PSystem.build(schemas, rules, data)
+        system.run_global_update()
+        assert system.node("lonely").is_update_closed
+        assert system.node("lonely").database.relation("item").rows() == {("9", "9")}
+
+    def test_mediator_node_with_empty_database(self):
+        # b holds no data of its own but relays from c to a (the paper's
+        # "node acts as a mediator" case: LDB may be absent, DBS must exist).
+        system = P2PSystem.build(
+            item_schemas("a", "b", "c"),
+            [
+                rule_from_text("ab", "b: item(X, Y) -> a: item(X, Y)"),
+                rule_from_text("bc", "c: item(X, Y) -> b: item(X, Y)"),
+            ],
+            {"c": {"item": [("1", "2")]}},
+        )
+        system.run_global_update()
+        assert system.node("a").database.relation("item").rows() == {("1", "2")}

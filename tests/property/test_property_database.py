@@ -1,0 +1,113 @@
+"""Property-based tests for the relational engine (relations, evaluation, chase)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database.database import LocalDatabase
+from repro.database.evaluate import evaluate_query
+from repro.database.parser import parse_atom, parse_query
+from repro.database.query import Variable
+from repro.database.relation import Relation
+from repro.database.schema import DatabaseSchema, RelationSchema
+
+values = st.one_of(st.integers(min_value=0, max_value=20), st.sampled_from("abcdef"))
+pairs = st.tuples(values, values)
+pair_sets = st.sets(pairs, max_size=30)
+
+
+class TestRelationProperties:
+    @given(rows=pair_sets)
+    def test_insert_is_idempotent_and_set_semantics(self, rows):
+        relation = Relation(RelationSchema("r", ["x", "y"]))
+        for row in rows:
+            relation.insert(row)
+        for row in rows:
+            assert relation.insert(row) is False
+        assert relation.rows() == frozenset(rows)
+
+    @given(rows=pair_sets, probe=values)
+    def test_lookup_agrees_with_scan(self, rows, probe):
+        relation = Relation(RelationSchema("r", ["x", "y"]), rows)
+        via_index = set(relation.lookup(0, probe))
+        via_scan = {row for row in relation if row[0] == probe}
+        assert via_index == via_scan
+
+    @given(rows=pair_sets)
+    def test_delete_inverts_insert(self, rows):
+        relation = Relation(RelationSchema("r", ["x", "y"]), rows)
+        for row in list(rows):
+            assert relation.delete(row) is True
+        assert len(relation) == 0
+
+    @given(rows=pair_sets)
+    def test_projection_is_subset_of_values(self, rows):
+        relation = Relation(RelationSchema("r", ["x", "y"]), rows)
+        projected = relation.project([0])
+        assert projected == {(row[0],) for row in rows}
+
+
+def graph_database(edges):
+    db = LocalDatabase(DatabaseSchema([RelationSchema("edge", ["src", "dst"])]))
+    db.insert_many("edge", edges)
+    return db
+
+
+class TestEvaluationProperties:
+    @given(edges=pair_sets)
+    def test_identity_query_returns_all_rows(self, edges):
+        db = graph_database(edges)
+        answers = evaluate_query(db, parse_query("q(X, Y) :- edge(X, Y)"))
+        assert answers == set(edges)
+
+    @given(edges=pair_sets)
+    def test_join_answers_are_actual_two_step_paths(self, edges):
+        db = graph_database(edges)
+        answers = evaluate_query(db, parse_query("q(X, Z) :- edge(X, Y), edge(Y, Z)"))
+        expected = {
+            (x, z2) for (x, y) in edges for (y2, z2) in edges if y == y2
+        }
+        assert answers == expected
+
+    @given(edges=pair_sets)
+    def test_selection_with_builtin_is_a_subset(self, edges):
+        db = graph_database(edges)
+        unrestricted = evaluate_query(db, parse_query("q(X, Y) :- edge(X, Y)"))
+        restricted = evaluate_query(db, parse_query("q(X, Y) :- edge(X, Y), X != Y"))
+        assert restricted <= unrestricted
+        assert restricted == {(x, y) for (x, y) in unrestricted if x != y}
+
+    @given(edges=pair_sets)
+    def test_evaluation_does_not_modify_database(self, edges):
+        db = graph_database(edges)
+        before = db.facts()
+        evaluate_query(db, parse_query("q(X, Z) :- edge(X, Y), edge(Y, Z)"))
+        assert db.facts() == before
+
+
+class TestChaseProperties:
+    @given(answers=st.sets(st.tuples(values), max_size=20))
+    def test_apply_view_tuples_is_idempotent(self, answers):
+        db = LocalDatabase(DatabaseSchema([RelationSchema("t", ["x", "w"])]))
+        head = parse_atom("t(X, W)")
+        first = db.apply_view_tuples("r", head, (Variable("X"),), answers)
+        second = db.apply_view_tuples("r", head, (Variable("X"),), answers)
+        assert len(first) == len(answers)
+        assert second == set()
+
+    @given(answers=st.sets(st.tuples(values, values), max_size=20))
+    def test_copy_rule_materialises_exactly_the_answers(self, answers):
+        db = LocalDatabase(DatabaseSchema([RelationSchema("t", ["x", "y"])]))
+        head = parse_atom("t(X, Y)")
+        inserted = db.apply_view_tuples(
+            "r", head, (Variable("X"), Variable("Y")), answers
+        )
+        assert inserted == set(answers)
+        assert db.relation("t").rows() == frozenset(answers)
+
+    @given(answers=st.sets(st.tuples(values), min_size=1, max_size=20))
+    def test_skolem_nulls_one_per_distinct_binding(self, answers):
+        db = LocalDatabase(DatabaseSchema([RelationSchema("t", ["x", "w"])]))
+        head = parse_atom("t(X, W)")
+        db.apply_view_tuples("r", head, (Variable("X"),), answers)
+        nulls = {row[1] for row in db.relation("t")}
+        assert len(nulls) == len(answers)

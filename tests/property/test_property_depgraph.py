@@ -1,0 +1,80 @@
+"""Property-based tests for dependency graphs and paths."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coordination.depgraph import DependencyGraph, is_separated
+
+node_names = st.sampled_from(["n0", "n1", "n2", "n3", "n4", "n5"])
+edges_strategy = st.sets(
+    st.tuples(node_names, node_names).filter(lambda e: e[0] != e[1]), max_size=14
+)
+
+
+class TestDependencyPathProperties:
+    @given(edges=edges_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_every_path_follows_edges_and_starts_at_origin(self, edges):
+        graph = DependencyGraph(edges=edges)
+        for start in graph.nodes:
+            for path in graph.maximal_dependency_paths(start, limit=200):
+                assert path[0] == start
+                for a, b in zip(path, path[1:]):
+                    assert (a, b) in edges
+
+    @given(edges=edges_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_path_prefixes_are_simple(self, edges):
+        graph = DependencyGraph(edges=edges)
+        for start in graph.nodes:
+            for path in graph.maximal_dependency_paths(start, limit=200):
+                prefix = path[:-1]
+                assert len(prefix) == len(set(prefix))
+
+    @given(edges=edges_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_maximal_paths_cannot_be_extended(self, edges):
+        graph = DependencyGraph(edges=edges)
+        for start in graph.nodes:
+            paths = graph.maximal_dependency_paths(start)
+            for path in paths:
+                if len(set(path)) != len(path):
+                    continue  # closes a loop: extending would break simplicity
+                assert not graph.successors(path[-1])
+
+    @given(edges=edges_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_reachability_matches_paths(self, edges):
+        graph = DependencyGraph(edges=edges)
+        for start in graph.nodes:
+            reachable = graph.reachable_from(start)
+            on_paths = {
+                node
+                for path in graph.maximal_dependency_paths(start, limit=500)
+                for node in path
+            } or {start}
+            # Every node on a dependency path is reachable.
+            assert on_paths <= reachable
+
+    @given(edges=edges_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_acyclicity_agrees_with_path_shapes(self, edges):
+        graph = DependencyGraph(edges=edges)
+        has_loop_path = any(
+            len(set(path)) != len(path)
+            for start in graph.nodes
+            for path in graph.maximal_dependency_paths(start, limit=500)
+        )
+        assert has_loop_path == (not graph.is_acyclic())
+
+    @given(edges=edges_strategy, group_a=st.sets(node_names), group_b=st.sets(node_names))
+    @settings(max_examples=60, deadline=None)
+    def test_separation_equals_no_reachability(self, edges, group_a, group_b):
+        graph = DependencyGraph(edges=edges)
+        for node in group_a | group_b:
+            graph.add_node(node)
+        separated = is_separated(graph, group_a, group_b)
+        reachable = set()
+        for node in group_a:
+            reachable |= graph.reachable_from(node)
+        assert separated == (not (reachable & set(group_b)))

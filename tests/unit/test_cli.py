@@ -1,0 +1,53 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, list_experiments, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_defaults(self):
+        args = build_parser().parse_args(["run", "E1"])
+        assert args.command == "run"
+        assert args.experiment == "E1"
+        assert args.records == 30
+
+    def test_run_command_with_records(self):
+        args = build_parser().parse_args(["run", "E4", "--records", "12"])
+        assert args.records == 12
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_prints_all_ten_experiments(self, capsys):
+        text = list_experiments()
+        out = capsys.readouterr().out
+        assert out.strip() == text
+        assert len(text.splitlines()) == 10
+        assert text.splitlines()[0].startswith("E1")
+
+    def test_main_list_exit_code(self, capsys):
+        assert main(["list"]) == 0
+        assert "E10" in capsys.readouterr().out
+
+    def test_main_runs_the_paper_example_experiment(self, capsys):
+        assert main(["run", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "dependency paths" in out
+        assert "ABCA" in out
+
+    def test_main_runs_the_trace_experiment_with_limit(self, capsys):
+        assert main(["run", "E2", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "request_nodes" in out

@@ -1,0 +1,127 @@
+"""Unit tests for dependency graphs, paths and separation (Definitions 5-7, 10)."""
+
+import pytest
+
+from repro.coordination.depgraph import (
+    DependencyGraph,
+    dependency_edges,
+    is_separated,
+    maximal_dependency_paths,
+)
+from repro.coordination.rule import rule_from_text
+from repro.workloads.scenarios import paper_example_rules
+
+
+@pytest.fixture
+def paper_graph():
+    return DependencyGraph.from_rules(paper_example_rules())
+
+
+class TestEdges:
+    def test_edges_of_the_paper_example(self, paper_graph):
+        assert paper_graph.edges == frozenset(
+            {
+                ("B", "E"),
+                ("C", "B"),
+                ("B", "C"),
+                ("A", "B"),
+                ("C", "A"),
+                ("D", "A"),
+                ("C", "D"),
+            }
+        )
+
+    def test_dependency_edges_helper(self):
+        rules = [rule_from_text("r", "B: b(X) -> A: a(X)")]
+        assert dependency_edges(rules) == {("A", "B")}
+
+    def test_multi_source_rule_produces_multiple_edges(self):
+        rules = [rule_from_text("r", "B: b(X), D: d(X) -> A: a(X)")]
+        assert dependency_edges(rules) == {("A", "B"), ("A", "D")}
+
+    def test_add_and_remove_edge(self):
+        graph = DependencyGraph()
+        graph.add_edge("A", "B")
+        assert graph.successors("A") == frozenset({"B"})
+        graph.remove_edge("A", "B")
+        assert graph.successors("A") == frozenset()
+
+    def test_nodes_include_isolated(self):
+        graph = DependencyGraph(nodes=["X"], edges=[("A", "B")])
+        assert graph.nodes == frozenset({"X", "A", "B"})
+
+
+class TestPaths:
+    def test_maximal_paths_of_node_a(self, paper_graph):
+        paths = {"".join(p) for p in paper_graph.maximal_dependency_paths("A")}
+        assert paths == {"ABE", "ABCA", "ABCB", "ABCDA"}
+
+    def test_maximal_paths_of_node_b(self, paper_graph):
+        paths = {"".join(p) for p in paper_graph.maximal_dependency_paths("B")}
+        assert paths == {"BE", "BCB", "BCAB", "BCDAB"}
+
+    def test_leaf_node_has_single_trivial_path(self, paper_graph):
+        assert paper_graph.maximal_dependency_paths("E") == [("E",)]
+
+    def test_paths_prefix_is_simple(self, paper_graph):
+        for node in paper_graph.nodes:
+            for path in paper_graph.maximal_dependency_paths(node):
+                prefix = path[:-1]
+                assert len(prefix) == len(set(prefix))
+
+    def test_maximal_paths_cannot_be_extended(self, paper_graph):
+        for path in paper_graph.maximal_dependency_paths("A"):
+            last = path[-1]
+            if len(set(path)) == len(path):
+                # Simple maximal path: the last node must have no successors.
+                assert not paper_graph.successors(last)
+            else:
+                # Otherwise the path closes a loop on an earlier node.
+                assert last in path[:-1]
+
+    def test_limit_caps_enumeration(self, paper_graph):
+        capped = paper_graph.maximal_dependency_paths("A", limit=2)
+        assert len(capped) <= 2
+
+    def test_helper_over_rules(self):
+        rules = paper_example_rules()
+        assert {"".join(p) for p in maximal_dependency_paths(rules, "D")} == {
+            "DABE",
+            "DABCA",
+            "DABCB",
+            "DABCD",
+        }
+
+
+class TestReachabilityAndCycles:
+    def test_reachable_from(self, paper_graph):
+        assert paper_graph.reachable_from("D") == frozenset({"A", "B", "C", "D", "E"})
+        assert paper_graph.reachable_from("E") == frozenset({"E"})
+
+    def test_paper_graph_is_cyclic(self, paper_graph):
+        assert paper_graph.is_acyclic() is False
+
+    def test_acyclic_graph_detected(self):
+        graph = DependencyGraph(edges=[("A", "B"), ("B", "C")])
+        assert graph.is_acyclic() is True
+
+    def test_self_loop_not_possible_from_rules(self):
+        # Rules cannot have head and body at the same node, so self-loops only
+        # appear via manual edges.
+        graph = DependencyGraph(edges=[("A", "A")])
+        assert graph.is_acyclic() is False
+
+
+class TestSeparation:
+    def test_separated_components(self):
+        graph = DependencyGraph(edges=[("A", "B"), ("C", "D")])
+        assert is_separated(graph, ["A", "B"], ["C", "D"]) is True
+
+    def test_not_separated_when_reachable(self):
+        graph = DependencyGraph(edges=[("A", "B"), ("B", "C")])
+        assert is_separated(graph, ["A"], ["C"]) is False
+
+    def test_separation_is_directional(self):
+        graph = DependencyGraph(edges=[("A", "B")])
+        assert is_separated(graph, ["B"], ["A"]) is True
+        assert is_separated(graph, ["A"], ["B"]) is False

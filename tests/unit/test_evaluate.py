@@ -1,0 +1,112 @@
+"""Unit tests for conjunctive-query evaluation over a local database."""
+
+import pytest
+
+from repro.database.database import LocalDatabase
+from repro.database.evaluate import evaluate_body, evaluate_query, substitute
+from repro.database.parser import parse_query
+from repro.database.query import Atom, Constant, Variable
+from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def graph_db():
+    db = LocalDatabase(
+        DatabaseSchema(
+            [
+                RelationSchema("edge", ["src", "dst"]),
+                RelationSchema("label", ["node", "tag"]),
+            ]
+        )
+    )
+    db.insert_many("edge", [("a", "b"), ("b", "c"), ("c", "a"), ("b", "d")])
+    db.insert_many("label", [("a", "start"), ("d", "end")])
+    return db
+
+
+class TestSubstitute:
+    def test_substitute_with_constants_and_variables(self):
+        atom = Atom("edge", [Variable("X"), Constant("z")])
+        assert substitute(atom, {Variable("X"): "a"}) == ("a", "z")
+
+    def test_substitute_missing_binding(self):
+        atom = Atom("edge", [Variable("X"), Variable("Y")])
+        with pytest.raises(QueryError):
+            substitute(atom, {Variable("X"): "a"})
+
+
+class TestEvaluateQuery:
+    def test_single_atom_scan(self, graph_db):
+        answers = evaluate_query(graph_db, parse_query("q(X, Y) :- edge(X, Y)"))
+        assert answers == {("a", "b"), ("b", "c"), ("c", "a"), ("b", "d")}
+
+    def test_join_two_atoms(self, graph_db):
+        answers = evaluate_query(graph_db, parse_query("q(X, Z) :- edge(X, Y), edge(Y, Z)"))
+        assert ("a", "c") in answers
+        assert ("a", "d") in answers
+        assert ("d", "a") not in answers
+
+    def test_join_across_relations(self, graph_db):
+        answers = evaluate_query(
+            graph_db, parse_query("q(X) :- edge(X, Y), label(Y, 'end')")
+        )
+        assert answers == {("b",)}
+
+    def test_constant_in_body(self, graph_db):
+        answers = evaluate_query(graph_db, parse_query("q(Y) :- edge('a', Y)"))
+        assert answers == {("b",)}
+
+    def test_repeated_variable_forces_equality(self, graph_db):
+        graph_db.insert("edge", ("e", "e"))
+        answers = evaluate_query(graph_db, parse_query("q(X) :- edge(X, X)"))
+        assert answers == {("e",)}
+
+    def test_comparison_filters_bindings(self, graph_db):
+        answers = evaluate_query(
+            graph_db, parse_query("q(X, Z) :- edge(X, Y), edge(Y, Z), X != Z")
+        )
+        assert ("a", "a") not in answers
+        assert ("a", "c") in answers
+
+    def test_missing_relation_yields_empty(self, graph_db):
+        answers = evaluate_query(graph_db, parse_query("q(X) :- missing(X)"))
+        assert answers == set()
+
+    def test_arity_mismatch_raises(self, graph_db):
+        with pytest.raises(QueryError):
+            evaluate_query(graph_db, parse_query("q(X) :- edge(X)"))
+
+    def test_existential_head_variables_not_in_answers(self, graph_db):
+        # Z never occurs in the body: answers only cover the distinguished X.
+        answers = evaluate_query(graph_db, parse_query("q(X, Z) :- label(X, 'start')"))
+        assert answers == {("a",)}
+
+    def test_body_only_query_returns_all_bindings(self, graph_db):
+        query = parse_query("edge(X, Y), label(X, T)")
+        answers = evaluate_query(graph_db, query)
+        # Variables in first-occurrence order: X, Y, T.
+        assert ("a", "b", "start") in answers
+
+    def test_cartesian_product_when_no_shared_variables(self, graph_db):
+        answers = evaluate_query(graph_db, parse_query("q(X, N) :- edge(X, 'b'), label(N, 'end')"))
+        assert answers == {("a", "d")}
+
+
+class TestEvaluateBody:
+    def test_bindings_cover_all_body_variables(self, graph_db):
+        query = parse_query("q(X) :- edge(X, Y), edge(Y, Z)")
+        bindings = list(evaluate_body(graph_db, query))
+        assert all(
+            {Variable("X"), Variable("Y"), Variable("Z")} <= set(b) for b in bindings
+        )
+
+    def test_empty_result_when_comparison_fails(self, graph_db):
+        query = parse_query("q(X) :- label(X, T), T = 'nothing'")
+        assert list(evaluate_body(graph_db, query)) == []
+
+    def test_integer_comparisons(self):
+        db = LocalDatabase(DatabaseSchema([RelationSchema("num", ["n"])]))
+        db.insert_many("num", [(1,), (5,), (10,)])
+        answers = evaluate_query(db, parse_query("q(N) :- num(N), N < 6"))
+        assert answers == {(1,), (5,)}

@@ -1,0 +1,74 @@
+"""Unit tests for labelled nulls and the Skolem factory."""
+
+from repro.database.nulls import LabeledNull, SkolemFactory, is_null
+
+
+class TestLabeledNull:
+    def test_equality_by_label(self):
+        assert LabeledNull("x") == LabeledNull("x")
+        assert LabeledNull("x") != LabeledNull("y")
+
+    def test_hashable(self):
+        assert len({LabeledNull("x"), LabeledNull("x"), LabeledNull("y")}) == 2
+
+    def test_is_null(self):
+        assert is_null(LabeledNull("x"))
+        assert not is_null("x")
+        assert not is_null(None)
+
+    def test_str_rendering(self):
+        assert str(LabeledNull("r1/Y(k=1)")).startswith("_:")
+
+
+class TestSkolemFactory:
+    def test_same_inputs_same_null(self):
+        factory = SkolemFactory()
+        first = factory.null_for("r1", "Y", {"X": 1})
+        second = factory.null_for("r1", "Y", {"X": 1})
+        assert first is second
+
+    def test_different_binding_different_null(self):
+        factory = SkolemFactory()
+        assert factory.null_for("r1", "Y", {"X": 1}) != factory.null_for(
+            "r1", "Y", {"X": 2}
+        )
+
+    def test_different_variable_different_null(self):
+        factory = SkolemFactory()
+        assert factory.null_for("r1", "Y", {"X": 1}) != factory.null_for(
+            "r1", "Z", {"X": 1}
+        )
+
+    def test_different_rule_different_null(self):
+        factory = SkolemFactory()
+        assert factory.null_for("r1", "Y", {"X": 1}) != factory.null_for(
+            "r2", "Y", {"X": 1}
+        )
+
+    def test_binding_order_irrelevant(self):
+        factory = SkolemFactory()
+        first = factory.null_for("r", "Y", {"A": 1, "B": 2})
+        second = factory.null_for("r", "Y", {"B": 2, "A": 1})
+        assert first == second
+
+    def test_binding_value_types_distinguished(self):
+        factory = SkolemFactory()
+        assert factory.null_for("r", "Y", {"X": 1}) != factory.null_for(
+            "r", "Y", {"X": "1"}
+        )
+
+    def test_nested_null_in_binding(self):
+        factory = SkolemFactory()
+        inner = factory.null_for("r1", "Y", {"X": 1})
+        outer_a = factory.null_for("r2", "Z", {"W": inner})
+        outer_b = factory.null_for("r2", "Z", {"W": inner})
+        assert outer_a == outer_b
+
+    def test_invented_count_and_reset(self):
+        factory = SkolemFactory()
+        factory.null_for("r", "Y", {"X": 1})
+        factory.null_for("r", "Y", {"X": 1})
+        factory.null_for("r", "Y", {"X": 2})
+        assert factory.invented_count == 2
+        factory.reset()
+        assert factory.invented_count == 0

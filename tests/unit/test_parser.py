@@ -1,0 +1,122 @@
+"""Unit tests for the textual atom / query / rule parser."""
+
+import pytest
+
+from repro.database.parser import (
+    parse_atom,
+    parse_prefixed_atom,
+    parse_query,
+    parse_rule_text,
+)
+from repro.database.query import Constant, Variable
+from repro.errors import QueryError
+
+
+class TestParseAtom:
+    def test_variables_and_constants(self):
+        atom = parse_atom("b(X, 'smith', 3, lowercase)")
+        assert atom.relation == "b"
+        assert atom.terms == (
+            Variable("X"),
+            Constant("smith"),
+            Constant(3),
+            Constant("lowercase"),
+        )
+
+    def test_negative_integer(self):
+        atom = parse_atom("t(-5)")
+        assert atom.terms == (Constant(-5),)
+
+    def test_zero_arity(self):
+        assert parse_atom("flag()").arity == 0
+
+    def test_node_prefix(self):
+        node, atom = parse_prefixed_atom("B: b(X, Y)")
+        assert node == "B"
+        assert atom.relation == "b"
+
+    def test_no_prefix(self):
+        node, atom = parse_prefixed_atom("b(X)")
+        assert node is None
+
+    def test_malformed_atom(self):
+        with pytest.raises(QueryError):
+            parse_atom("no parentheses")
+
+    def test_bad_term(self):
+        with pytest.raises(QueryError):
+            parse_atom("b(X, ??)")
+
+
+class TestParseQuery:
+    def test_head_and_body(self):
+        query = parse_query("a(X, Z) :- b(X, Y), c(Y, Z)")
+        assert query.head.relation == "a"
+        assert [atom.relation for atom in query.body] == ["b", "c"]
+
+    def test_comparisons_extracted(self):
+        query = parse_query("a(X) :- b(X, Y), X != Y, Y >= 3")
+        assert len(query.comparisons) == 2
+        operators = {comparison.operator for comparison in query.comparisons}
+        assert operators == {"!=", ">="}
+
+    def test_body_only_query(self):
+        query = parse_query("b(X, Y), c(Y, Z)")
+        assert query.head is None
+
+    def test_nested_commas_inside_parentheses(self):
+        query = parse_query("q(X) :- b(X, 'a, b')")
+        assert query.body[0].terms[1] == Constant("a, b")
+
+    def test_no_body_atoms_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("q(X) :- X != Y")
+
+    def test_unbalanced_parentheses_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("q(X) :- b(X, (Y)")
+
+
+class TestParseRuleText:
+    def test_single_source_rule(self):
+        head_node, head, body, comparisons = parse_rule_text(
+            "E: e(X, Y) -> B: b(X, Y)"
+        )
+        assert head_node == "B"
+        assert head.relation == "b"
+        assert body == [("E", body[0][1])]
+        assert comparisons == []
+
+    def test_body_prefix_inheritance(self):
+        _, _, body, _ = parse_rule_text("B: b(X, Y), b(Y, Z) -> C: c(X, Z)")
+        assert [node for node, _atom in body] == ["B", "B"]
+
+    def test_multi_source_rule(self):
+        _, _, body, _ = parse_rule_text("B: b(X, Y), D: d(Y, Z) -> C: c(X, Z)")
+        assert [node for node, _atom in body] == ["B", "D"]
+
+    def test_comparison_in_rule(self):
+        _, _, _, comparisons = parse_rule_text(
+            "B: b(X, Y), b(X, Z), X != Z -> A: a(X, Y)"
+        )
+        assert len(comparisons) == 1
+
+    def test_double_arrow_accepted(self):
+        head_node, _, _, _ = parse_rule_text("E: e(X) => B: b(X)")
+        assert head_node == "B"
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(QueryError):
+            parse_rule_text("E: e(X), B: b(X)")
+
+    def test_unqualified_head_rejected(self):
+        with pytest.raises(QueryError):
+            parse_rule_text("E: e(X) -> b(X)")
+
+    def test_unqualified_first_body_atom_rejected(self):
+        with pytest.raises(QueryError):
+            parse_rule_text("e(X) -> B: b(X)")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            parse_rule_text(" -> B: b(X)")

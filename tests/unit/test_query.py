@@ -1,0 +1,110 @@
+"""Unit tests for the conjunctive-query AST."""
+
+import pytest
+
+from repro.database.query import (
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+)
+from repro.errors import QueryError
+
+
+class TestTerms:
+    def test_variable_rendering(self):
+        assert str(Variable("X")) == "X"
+
+    def test_constant_rendering(self):
+        assert str(Constant("abc")) == "'abc'"
+        assert str(Constant(7)) == "7"
+
+    def test_terms_are_hashable(self):
+        assert len({Variable("X"), Variable("X"), Constant(1)}) == 2
+
+
+class TestAtom:
+    def test_basic_atom(self):
+        atom = Atom("b", [Variable("X"), Constant(3)])
+        assert atom.arity == 2
+        assert atom.relation == "b"
+
+    def test_variables_in_order_without_duplicates(self):
+        atom = Atom("b", [Variable("X"), Variable("Y"), Variable("X")])
+        assert atom.variables == (Variable("X"), Variable("Y"))
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("", [Variable("X")])
+
+    def test_non_term_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("b", ["not-a-term"])
+
+    def test_str(self):
+        assert str(Atom("b", [Variable("X"), Constant(1)])) == "b(X, 1)"
+
+
+class TestComparison:
+    def test_equality_operators(self):
+        assert Comparison("=", Variable("X"), Variable("Y")).evaluate(1, 1)
+        assert Comparison("!=", Variable("X"), Variable("Y")).evaluate(1, 2)
+
+    def test_order_operators(self):
+        assert Comparison("<", Variable("X"), Constant(3)).evaluate(1, 3)
+        assert Comparison(">=", Variable("X"), Constant(3)).evaluate(3, 3)
+        assert not Comparison(">", Variable("X"), Constant(3)).evaluate(1, 3)
+
+    def test_incomparable_types_are_false_not_error(self):
+        assert Comparison("<", Variable("X"), Variable("Y")).evaluate("a", 1) is False
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("~", Variable("X"), Variable("Y"))
+
+    def test_variables_listed(self):
+        comparison = Comparison("!=", Variable("X"), Constant(1))
+        assert comparison.variables == (Variable("X"),)
+
+
+class TestConjunctiveQuery:
+    def _query(self):
+        head = Atom("a", [Variable("X"), Variable("Z")])
+        body = [
+            Atom("b", [Variable("X"), Variable("Y")]),
+            Atom("c", [Variable("Y"), Constant(1)]),
+        ]
+        return ConjunctiveQuery(head, body, [Comparison("!=", Variable("X"), Variable("Y"))])
+
+    def test_body_variables_in_first_occurrence_order(self):
+        assert self._query().body_variables == (Variable("X"), Variable("Y"))
+
+    def test_distinguished_and_existential_variables(self):
+        query = self._query()
+        assert query.distinguished_variables == (Variable("X"),)
+        assert query.existential_variables == (Variable("Z"),)
+
+    def test_relations_without_duplicates(self):
+        assert self._query().relations == ("b", "c")
+
+    def test_head_may_be_none(self):
+        query = ConjunctiveQuery(None, [Atom("b", [Variable("X")])])
+        assert query.head_variables == ()
+        assert query.distinguished_variables == ()
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(Atom("a", [Variable("X")]), [])
+
+    def test_comparison_over_unbound_variable_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(
+                None,
+                [Atom("b", [Variable("X")])],
+                [Comparison("=", Variable("Z"), Constant(1))],
+            )
+
+    def test_str_contains_head_and_body(self):
+        rendered = str(self._query())
+        assert "a(X, Z)" in rendered and "b(X, Y)" in rendered

@@ -1,0 +1,108 @@
+"""Unit tests for the set-semantics relation store."""
+
+import pytest
+
+from repro.database.relation import Relation
+from repro.database.schema import RelationSchema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def pair_relation():
+    return Relation(RelationSchema("edge", ["src", "dst"]))
+
+
+class TestInsertDelete:
+    def test_insert_returns_true_for_new_row(self, pair_relation):
+        assert pair_relation.insert(("a", "b")) is True
+        assert len(pair_relation) == 1
+
+    def test_insert_duplicate_is_noop(self, pair_relation):
+        pair_relation.insert(("a", "b"))
+        assert pair_relation.insert(("a", "b")) is False
+        assert len(pair_relation) == 1
+
+    def test_insert_validates_arity(self, pair_relation):
+        with pytest.raises(SchemaError):
+            pair_relation.insert(("only-one",))
+
+    def test_insert_many_counts_new_rows(self, pair_relation):
+        new = pair_relation.insert_many([("a", "b"), ("a", "b"), ("c", "d")])
+        assert new == 2
+
+    def test_delete_existing(self, pair_relation):
+        pair_relation.insert(("a", "b"))
+        assert pair_relation.delete(("a", "b")) is True
+        assert len(pair_relation) == 0
+
+    def test_delete_missing(self, pair_relation):
+        assert pair_relation.delete(("x", "y")) is False
+
+    def test_clear(self, pair_relation):
+        pair_relation.insert_many([("a", "b"), ("c", "d")])
+        pair_relation.clear()
+        assert len(pair_relation) == 0
+
+    def test_contains_and_iteration(self, pair_relation):
+        pair_relation.insert(("a", "b"))
+        assert ("a", "b") in pair_relation
+        assert set(pair_relation) == {("a", "b")}
+
+
+class TestLookupAndProjection:
+    def test_lookup_uses_position(self, pair_relation):
+        pair_relation.insert_many([("a", "b"), ("a", "c"), ("d", "e")])
+        assert set(pair_relation.lookup(0, "a")) == {("a", "b"), ("a", "c")}
+
+    def test_lookup_no_match(self, pair_relation):
+        pair_relation.insert(("a", "b"))
+        assert list(pair_relation.lookup(1, "zzz")) == []
+
+    def test_lookup_invalid_position(self, pair_relation):
+        with pytest.raises(SchemaError):
+            list(pair_relation.lookup(5, "a"))
+
+    def test_lookup_index_stays_consistent_after_insert(self, pair_relation):
+        pair_relation.insert(("a", "b"))
+        list(pair_relation.lookup(0, "a"))  # builds the index
+        pair_relation.insert(("a", "z"))
+        assert set(pair_relation.lookup(0, "a")) == {("a", "b"), ("a", "z")}
+
+    def test_lookup_index_stays_consistent_after_delete(self, pair_relation):
+        pair_relation.insert_many([("a", "b"), ("a", "c")])
+        list(pair_relation.lookup(0, "a"))
+        pair_relation.delete(("a", "b"))
+        assert set(pair_relation.lookup(0, "a")) == {("a", "c")}
+
+    def test_project(self, pair_relation):
+        pair_relation.insert_many([("a", "b"), ("c", "b")])
+        assert pair_relation.project([1]) == {("b",)}
+
+    def test_project_invalid_position(self, pair_relation):
+        with pytest.raises(SchemaError):
+            pair_relation.project([9])
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self, pair_relation):
+        pair_relation.insert(("a", "b"))
+        clone = pair_relation.copy()
+        clone.insert(("c", "d"))
+        assert len(pair_relation) == 1
+        assert len(clone) == 2
+
+    def test_equality_by_schema_and_rows(self):
+        schema = RelationSchema("edge", ["src", "dst"])
+        first = Relation(schema, [("a", "b")])
+        second = Relation(schema, [("a", "b")])
+        assert first == second
+
+    def test_inequality_for_different_rows(self):
+        schema = RelationSchema("edge", ["src", "dst"])
+        assert Relation(schema, [("a", "b")]) != Relation(schema, [("a", "c")])
+
+    def test_rows_snapshot_is_frozen(self, pair_relation):
+        pair_relation.insert(("a", "b"))
+        snapshot = pair_relation.rows()
+        pair_relation.insert(("c", "d"))
+        assert snapshot == frozenset({("a", "b")})

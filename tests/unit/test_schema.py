@@ -1,0 +1,99 @@
+"""Unit tests for relation and database schemas."""
+
+import pytest
+
+from repro.database.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.errors import SchemaError
+
+
+class TestAttribute:
+    def test_valid_attribute(self):
+        attr = Attribute("title")
+        assert attr.name == "title"
+        assert attr.dtype == "str"
+
+    def test_attribute_with_dtype(self):
+        assert Attribute("year", "int").dtype == "int"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("not a name")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestRelationSchema:
+    def test_attributes_from_strings(self):
+        schema = RelationSchema("pub", ["key", "title"])
+        assert schema.arity == 2
+        assert schema.attribute_names == ("key", "title")
+
+    def test_attributes_from_objects(self):
+        schema = RelationSchema("pub", [Attribute("key"), Attribute("year", "int")])
+        assert schema.attributes[1].dtype == "int"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("pub", ["key", "key"])
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("pub", [])
+
+    def test_invalid_relation_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("bad name", ["x"])
+
+    def test_index_of(self):
+        schema = RelationSchema("pub", ["key", "title", "year"])
+        assert schema.index_of("title") == 1
+
+    def test_index_of_unknown_attribute(self):
+        schema = RelationSchema("pub", ["key"])
+        with pytest.raises(SchemaError):
+            schema.index_of("nope")
+
+    def test_validate_tuple_accepts_matching_arity(self):
+        schema = RelationSchema("pub", ["key", "title"])
+        assert schema.validate_tuple(("k1", "t1")) == ("k1", "t1")
+
+    def test_validate_tuple_rejects_wrong_arity(self):
+        schema = RelationSchema("pub", ["key", "title"])
+        with pytest.raises(SchemaError):
+            schema.validate_tuple(("k1",))
+
+    def test_str_rendering(self):
+        schema = RelationSchema("pub", ["key", "title"])
+        assert str(schema) == "pub(key, title)"
+
+
+class TestDatabaseSchema:
+    def test_add_and_get(self):
+        db_schema = DatabaseSchema([RelationSchema("a", ["x"])])
+        db_schema.add(RelationSchema("b", ["y"]))
+        assert db_schema.get("b").arity == 1
+        assert "a" in db_schema
+        assert len(db_schema) == 2
+
+    def test_duplicate_relation_rejected(self):
+        db_schema = DatabaseSchema([RelationSchema("a", ["x"])])
+        with pytest.raises(SchemaError):
+            db_schema.add(RelationSchema("a", ["y"]))
+
+    def test_get_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema().get("missing")
+
+    def test_relation_names_preserve_order(self):
+        db_schema = DatabaseSchema(
+            [RelationSchema("b", ["x"]), RelationSchema("a", ["y"])]
+        )
+        assert db_schema.relation_names == ("b", "a")
+
+    def test_iteration_and_mapping_view(self):
+        schemas = [RelationSchema("a", ["x"]), RelationSchema("b", ["y"])]
+        db_schema = DatabaseSchema(schemas)
+        assert list(db_schema) == schemas
+        assert set(db_schema.as_mapping()) == {"a", "b"}

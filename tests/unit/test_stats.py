@@ -1,0 +1,101 @@
+"""Unit tests for the statistics collector and the report helpers."""
+
+import pytest
+
+from repro.stats.collector import StatisticsCollector
+from repro.stats.report import format_table, series_summary
+
+
+class TestStatisticsCollector:
+    def test_record_message_updates_totals_and_per_node(self):
+        stats = StatisticsCollector()
+        stats.record_message("query", "A", "B", 100)
+        stats.record_message("answer", "B", "A", 300)
+        snapshot = stats.snapshot()
+        assert snapshot.total_messages == 2
+        assert snapshot.messages.total_bytes == 400
+        assert snapshot.messages.by_type["query"] == 1
+        assert snapshot.nodes["A"].messages_sent == 1
+        assert snapshot.nodes["A"].messages_received == 1
+
+    def test_record_query_and_duplicates(self):
+        stats = StatisticsCollector()
+        stats.record_query("A")
+        stats.record_query("A", duplicate=True)
+        snapshot = stats.snapshot()
+        assert snapshot.total_queries_executed == 2
+        assert snapshot.total_duplicate_queries == 1
+
+    def test_record_update_accumulates_tuples(self):
+        stats = StatisticsCollector()
+        stats.record_update("A", received=10, inserted=4)
+        stats.record_update("A", received=5, inserted=0)
+        snapshot = stats.snapshot()
+        assert snapshot.total_tuples_transferred == 15
+        assert snapshot.total_tuples_inserted == 4
+        assert snapshot.nodes["A"].updates_applied == 2
+
+    def test_advance_time_is_monotone(self):
+        stats = StatisticsCollector()
+        stats.advance_time(5.0)
+        stats.advance_time(3.0)
+        assert stats.simulated_time == 5.0
+
+    def test_snapshot_is_independent_of_later_updates(self):
+        stats = StatisticsCollector()
+        stats.record_query("A")
+        snapshot = stats.snapshot()
+        stats.record_query("A")
+        assert snapshot.total_queries_executed == 1
+
+    def test_reset_clears_everything(self):
+        stats = StatisticsCollector()
+        stats.record_message("query", "A", "B", 10)
+        stats.advance_time(4.0)
+        stats.reset()
+        snapshot = stats.snapshot()
+        assert snapshot.total_messages == 0
+        assert snapshot.simulated_time == 0.0
+        assert snapshot.nodes == {}
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        table = format_table(["a", "b"], [[1, "xx"], [22, "y"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_floats_are_rounded(self):
+        table = format_table(["v"], [[1.23456]])
+        assert "1.235" in table
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestSeriesSummary:
+    def test_perfect_line(self):
+        fit = series_summary([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit["slope"] == pytest.approx(2.0)
+        assert fit["intercept"] == pytest.approx(1.0)
+        assert fit["r_squared"] == pytest.approx(1.0)
+
+    def test_constant_series_has_r_squared_one(self):
+        fit = series_summary([1, 2, 3], [5, 5, 5])
+        assert fit["slope"] == pytest.approx(0.0)
+        assert fit["r_squared"] == pytest.approx(1.0)
+
+    def test_noisy_series_reduces_r_squared(self):
+        fit = series_summary([1, 2, 3, 4], [3, 9, 4, 10])
+        assert fit["r_squared"] < 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_summary([1], [1])
+        with pytest.raises(ValueError):
+            series_summary([1, 2], [1])
+        with pytest.raises(ValueError):
+            series_summary([2, 2], [1, 3])

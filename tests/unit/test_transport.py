@@ -1,0 +1,198 @@
+"""Unit tests for the synchronous (discrete-event) and asyncio transports."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import NetworkError, UnknownPeerError
+from repro.network.latency import ConstantLatency, PerHopLatency
+from repro.network.message import Message, MessageType
+from repro.network.transport import AsyncTransport, SyncTransport
+
+
+def make_message(sender, recipient, payload=None):
+    return Message(sender, recipient, MessageType.QUERY, payload or {})
+
+
+class TestSyncTransport:
+    def test_delivery_invokes_handler(self):
+        transport = SyncTransport()
+        received = []
+        transport.register("B", received.append)
+        transport.register("A", lambda m: None)
+        transport.send(make_message("A", "B"))
+        transport.run()
+        assert len(received) == 1
+
+    def test_duplicate_registration_rejected(self):
+        transport = SyncTransport()
+        transport.register("A", lambda m: None)
+        with pytest.raises(NetworkError):
+            transport.register("A", lambda m: None)
+
+    def test_send_to_unknown_peer(self):
+        transport = SyncTransport()
+        transport.register("A", lambda m: None)
+        with pytest.raises(UnknownPeerError):
+            transport.send(make_message("A", "B"))
+
+    def test_clock_advances_by_latency(self):
+        transport = SyncTransport(latency=ConstantLatency(2.0))
+        transport.register("A", lambda m: None)
+        transport.register("B", lambda m: None)
+        transport.send(make_message("A", "B"))
+        completion = transport.run()
+        assert completion == 2.0
+
+    def test_handlers_can_send_more_messages(self):
+        transport = SyncTransport()
+        log = []
+
+        def relay(message):
+            log.append(message.recipient)
+            if message.recipient == "B":
+                transport.send(make_message("B", "C"))
+
+        for node in ("A", "B", "C"):
+            transport.register(node, relay)
+        transport.send(make_message("A", "B"))
+        completion = transport.run()
+        assert log == ["B", "C"]
+        assert completion == 2.0
+
+    def test_delivery_order_respects_latency(self):
+        transport = SyncTransport(
+            latency=PerHopLatency(base=1.0, overrides={("A", "B"): 5.0})
+        )
+        order = []
+        transport.register("A", lambda m: None)
+        transport.register("B", lambda m: order.append("slow"))
+        transport.register("C", lambda m: order.append("fast"))
+        transport.send(make_message("A", "B"))
+        transport.send(make_message("A", "C"))
+        transport.run()
+        assert order == ["fast", "slow"]
+
+    def test_step_delivers_one_message(self):
+        transport = SyncTransport()
+        seen = []
+        transport.register("A", lambda m: None)
+        transport.register("B", seen.append)
+        transport.send(make_message("A", "B"))
+        transport.send(make_message("A", "B"))
+        transport.step()
+        assert len(seen) == 1
+        assert transport.pending == 1
+
+    def test_step_when_quiescent_returns_none(self):
+        transport = SyncTransport()
+        assert transport.step() is None
+
+    def test_message_to_departed_peer_is_dropped(self):
+        transport = SyncTransport()
+        transport.register("A", lambda m: None)
+        transport.register("B", lambda m: None)
+        transport.send(make_message("A", "B"))
+        transport.unregister("B")
+        completion = transport.run()  # must not raise
+        assert completion >= 0
+
+    def test_runaway_protocol_detected(self):
+        transport = SyncTransport(max_messages=10)
+
+        def ping_pong(message):
+            transport.send(
+                make_message(message.recipient, "A" if message.recipient == "B" else "B")
+            )
+
+        transport.register("A", ping_pong)
+        transport.register("B", ping_pong)
+        transport.send(make_message("A", "B"))
+        with pytest.raises(NetworkError):
+            transport.run()
+
+    def test_stats_record_messages(self):
+        transport = SyncTransport()
+        transport.register("A", lambda m: None)
+        transport.register("B", lambda m: None)
+        transport.send(make_message("A", "B"))
+        transport.run()
+        snapshot = transport.stats.snapshot()
+        assert snapshot.total_messages == 1
+        assert snapshot.messages.by_type["query"] == 1
+
+    def test_trace_disabled_by_default(self):
+        transport = SyncTransport()
+        transport.register("A", lambda m: None)
+        transport.register("B", lambda m: None)
+        transport.send(make_message("A", "B"))
+        transport.run()
+        assert transport.trace == []
+
+    def test_trace_records_deliveries_when_enabled(self):
+        transport = SyncTransport()
+        transport.enable_trace()
+        transport.register("A", lambda m: None)
+        transport.register("B", lambda m: None)
+        transport.send(make_message("A", "B"))
+        transport.run()
+        assert len(transport.trace) == 1
+        at_time, message = transport.trace[0]
+        assert message.recipient == "B"
+        assert at_time == 1.0
+
+
+class TestAsyncTransport:
+    def test_async_delivery_and_quiescence(self):
+        async def scenario():
+            transport = AsyncTransport(time_scale=0.0001)
+            received = []
+            transport.register("A", lambda m: None)
+            transport.register("B", received.append)
+            transport.send(make_message("A", "B"))
+            await transport.wait_quiescent(timeout=5)
+            return received
+
+        received = asyncio.run(scenario())
+        assert len(received) == 1
+
+    def test_async_handler_chaining(self):
+        async def scenario():
+            transport = AsyncTransport(time_scale=0.0001)
+            log = []
+
+            def relay(message):
+                log.append(message.recipient)
+                if message.recipient == "B":
+                    transport.send(make_message("B", "C"))
+
+            for node in ("A", "B", "C"):
+                transport.register(node, relay)
+            transport.send(make_message("A", "B"))
+            await transport.wait_quiescent(timeout=5)
+            return log
+
+        assert asyncio.run(scenario()) == ["B", "C"]
+
+    def test_async_send_to_unknown_peer(self):
+        async def scenario():
+            transport = AsyncTransport()
+            transport.register("A", lambda m: None)
+            with pytest.raises(UnknownPeerError):
+                transport.send(make_message("A", "B"))
+
+        asyncio.run(scenario())
+
+    def test_async_pending_counter(self):
+        async def scenario():
+            transport = AsyncTransport(time_scale=0.0001)
+            transport.register("A", lambda m: None)
+            transport.register("B", lambda m: None)
+            transport.send(make_message("A", "B"))
+            pending_before = transport.pending
+            await transport.wait_quiescent(timeout=5)
+            return pending_before, transport.pending
+
+        before, after = asyncio.run(scenario())
+        assert before == 1
+        assert after == 0

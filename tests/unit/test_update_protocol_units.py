@@ -1,0 +1,186 @@
+"""Unit tests for the update protocol internals: rounds, pushes, fragments."""
+
+import pytest
+
+from repro.coordination.rule import rule_from_text
+from repro.core.state import UpdateState
+from repro.core.system import P2PSystem
+from repro.core.update import fragment_for, fragment_variables, join_fragments
+from repro.database.database import LocalDatabase
+from repro.database.query import Variable
+from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.network.message import Message, MessageType
+
+
+def item_schemas(*names):
+    return {
+        name: DatabaseSchema([RelationSchema("item", ["x", "y"])]) for name in names
+    }
+
+
+def chain_system(data=None):
+    rules = [
+        rule_from_text("ab", "b: item(X, Y) -> a: item(X, Y)"),
+        rule_from_text("bc", "c: item(X, Y) -> b: item(X, Y)"),
+    ]
+    return P2PSystem.build(
+        item_schemas("a", "b", "c"),
+        rules,
+        data or {"c": {"item": [("1", "2")]}},
+    )
+
+
+class TestFragments:
+    def test_fragment_variables_order(self):
+        rule = rule_from_text("r", "b: item(X, Y), item(Y, Z) -> a: item(X, Z)")
+        assert fragment_variables(rule, "b") == (
+            Variable("X"),
+            Variable("Y"),
+            Variable("Z"),
+        )
+
+    def test_fragment_for_database(self):
+        db = LocalDatabase(DatabaseSchema([RelationSchema("item", ["x", "y"])]))
+        db.insert_many("item", [("1", "2"), ("2", "3")])
+        rule = rule_from_text("r", "b: item(X, Y), item(Y, Z) -> a: item(X, Z)")
+        fragment = fragment_for(db, rule, "b")
+        assert ("1", "2", "3") in fragment
+
+    def test_join_fragments_applies_cross_fragment_builtins(self):
+        rule = rule_from_text("r", "b: item(X, Y), c: item(Y, Z), X != Z -> a: item(X, Z)")
+        fragments = {
+            "b": {("1", "k"), ("2", "k")},
+            "c": {("k", "1"), ("k", "9")},
+        }
+        answers = join_fragments(rule, fragments)
+        assert answers == {("1", "9"), ("2", "1"), ("2", "9")}
+
+    def test_join_fragments_empty_source(self):
+        rule = rule_from_text("r", "b: item(X, Y), c: item(Y, Z) -> a: item(X, Z)")
+        assert join_fragments(rule, {"b": {("1", "k")}, "c": set()}) == set()
+
+
+class TestRounds:
+    def test_round_bookkeeping_on_chain(self):
+        system = chain_system()
+        node_a = system.node("a")
+        node_a.update.start()
+        assert node_a.state.pending_answers == {("ab", "b")}
+        system.transport.run()
+        assert node_a.state.pending_answers == set()
+        assert node_a.state.rounds_completed >= 1
+        assert node_a.is_update_closed
+
+    def test_dirty_round_triggers_another_round(self):
+        system = chain_system()
+        for node_id in ("a", "b", "c"):
+            system.node(node_id).update.start()
+        system.transport.run()
+        # a's first round returned b's data only after b itself pulled from c,
+        # so a needed at least two rounds (or a push-triggered re-pull).
+        assert system.node("a").state.rounds_completed >= 1
+        assert system.node("a").database.relation("item").rows() == {("1", "2")}
+
+    def test_node_without_rules_closes_on_start(self):
+        system = P2PSystem.build(item_schemas("solo"), [])
+        system.node("solo").update.start()
+        assert system.node("solo").is_update_closed
+
+    def test_request_rule_while_round_pending_sets_rerun(self):
+        system = chain_system()
+        node_a = system.node("a")
+        node_a.update.start()  # round in flight, not yet delivered
+        new_rule = rule_from_text("ac", "c: item(X, Y) -> a: item(X, Y)")
+        system.add_rule(new_rule)
+        node_a.update.request_rule(new_rule)
+        assert node_a.state.rerun_requested
+        system.transport.run()
+        assert node_a.is_update_closed
+        assert ("1", "2") in node_a.database.relation("item").rows()
+
+
+class TestQueryHandling:
+    def test_query_for_deleted_rule_is_ignored(self):
+        system = chain_system()
+        node_b = system.node("b")
+        node_b.handle(
+            Message(
+                "a",
+                "b",
+                MessageType.QUERY,
+                {"rule_id": "ghost", "requester": "a", "path": ("a",)},
+            )
+        )
+        assert system.transport.pending == 0
+        assert not node_b.state.update_owner
+
+    def test_query_registers_owner_once(self):
+        system = chain_system()
+        node_b = system.node("b")
+        for _ in range(2):
+            node_b.handle(
+                Message(
+                    "a",
+                    "b",
+                    MessageType.QUERY,
+                    {"rule_id": "ab", "requester": "a", "path": ("a",)},
+                )
+            )
+        owners = [entry for entry in node_b.state.update_owner if entry.rule_id == "ab"]
+        assert len(owners) == 1
+        assert system.snapshot_stats().total_duplicate_queries == 1
+
+    def test_answer_for_deleted_rule_is_dropped(self):
+        system = chain_system()
+        node_a = system.node("a")
+        node_a.handle(
+            Message(
+                "b",
+                "a",
+                MessageType.ANSWER,
+                {
+                    "rule_id": "ghost",
+                    "source": "b",
+                    "tuples": frozenset({("9", "9")}),
+                    "complete": True,
+                    "path": ("a",),
+                },
+            )
+        )
+        assert node_a.database.total_rows() == 0
+
+    def test_leaf_source_reports_complete(self):
+        system = chain_system()
+        node_c = system.node("c")
+        node_c.handle(
+            Message(
+                "b",
+                "c",
+                MessageType.QUERY,
+                {"rule_id": "bc", "requester": "b", "path": ("b",)},
+            )
+        )
+        assert node_c.state.state_u == UpdateState.CLOSED
+        # The queued answer carries complete=True.
+        delivered = system.transport.step()
+        assert delivered.type == MessageType.ANSWER
+        assert delivered.payload["complete"] is True
+
+
+class TestPushSuppression:
+    def test_unchanged_fragment_is_not_pushed_twice(self):
+        system = chain_system()
+        system.run_global_update()
+        node_b = system.node("b")
+        messages_before = system.snapshot_stats().total_messages
+        # Force another push round: nothing changed, so nothing is sent.
+        node_b.update._push_to_owners()
+        assert system.transport.pending == 0
+        assert system.snapshot_stats().total_messages == messages_before
+
+    def test_forced_push_bypasses_suppression(self):
+        system = chain_system()
+        system.run_global_update()
+        node_b = system.node("b")
+        node_b.update._push_to_owners(force=True)
+        assert system.transport.pending > 0
