@@ -2,12 +2,14 @@
 """The asynchronous communication model on an asyncio transport.
 
 The paper's algorithm "is based on an asynchronous model of communications
-(while also supporting a synchronous alternative)".  The other examples use
-the deterministic synchronous transport; this one runs the same paper example
-over :class:`repro.network.transport.AsyncTransport`, where every message
-delivery is an independent asyncio task with a randomised latency, and then
-checks that the asynchronous run converges to exactly the same ground data as
-the deterministic one.
+(while also supporting a synchronous alternative)".  The unified
+:class:`repro.Session` makes the transport an assembly-time choice: the same
+``session.run(...)`` / ``session.update()`` calls drive either engine.  This
+example runs the paper example over the asyncio transport (every message
+delivery an independent task with randomised latency) from inside an event
+loop via ``run_async``, then re-runs it on the deterministic synchronous
+transport — from plain blocking code — and checks that both converge to
+exactly the same ground data.
 
 Run with::
 
@@ -18,34 +20,31 @@ from __future__ import annotations
 
 import asyncio
 
-from repro import SuperPeer, UniformLatency
+from repro import Session, UniformLatency
 from repro.core.fixpoint import ground_part
 from repro.workloads import build_paper_example
 
 
 async def run_async() -> dict:
-    system = build_paper_example(
+    session = Session.of(build_paper_example(
         transport="async",
         propagation="once",
         latency=UniformLatency(0.5, 3.0, seed=7),
-    )
-    SuperPeer(system, "A")
-    await system.run_discovery_async(origins=["A"])
-    snapshot = await system.run_global_update_async()
-    print(f"async run: {snapshot.total_messages} messages, "
-          f"{snapshot.total_tuples_inserted} tuples inserted")
-    return system.databases()
+    ))
+    await session.run_async("discovery", origins=["A"])
+    update = await session.run_async("update")
+    print(f"async run: {update.stats.total_messages} messages, "
+          f"{update.tuples_added} tuples inserted")
+    return session.databases()
 
 
 def run_sync() -> dict:
-    system = build_paper_example(transport="sync", propagation="once")
-    super_peer = SuperPeer(system, "A")
-    super_peer.run_discovery()
-    super_peer.run_global_update()
-    snapshot = system.snapshot_stats()
-    print(f"sync  run: {snapshot.total_messages} messages, "
-          f"{snapshot.total_tuples_inserted} tuples inserted")
-    return system.databases()
+    session = Session.of(build_paper_example(transport="sync", propagation="once"))
+    session.run("discovery", origins=["A"])
+    update = session.update()
+    print(f"sync  run: {update.stats.total_messages} messages, "
+          f"{update.tuples_added} tuples inserted")
+    return session.databases()
 
 
 def main() -> None:

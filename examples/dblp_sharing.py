@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import sys
 
-from repro import SuperPeer, parse_query
-from repro.workloads import build_dblp_network, tree_topology
+from repro import ScenarioSpec, Session
+from repro.workloads import tree_topology
 
 
 def main(records_per_node: int = 60) -> None:
@@ -25,17 +25,17 @@ def main(records_per_node: int = 60) -> None:
     print(f"topology: {spec.name}, {spec.node_count} peers, depth {spec.depth}")
     print("schema variants:", {node: spec.variant_of(node) for node in spec.nodes[:5]}, "...")
 
-    network = build_dblp_network(
+    scenario = ScenarioSpec.from_topology(
         spec,
         records_per_node=records_per_node,
         overlap_probability=0.5,  # the paper's second data distribution
     )
-    system = network.system
-    super_peer = SuperPeer(system)
+    session = Session.from_spec(scenario)
 
-    discovery_time = super_peer.run_discovery()
-    update_time = super_peer.run_global_update()
-    stats = super_peer.collect_statistics()
+    discovery_time = session.run("discovery").completion_time
+    update = session.update()
+    update_time = update.completion_time
+    stats = update.stats
 
     root = spec.nodes[0]
     variant = spec.variant_of(root)
@@ -45,9 +45,9 @@ def main(records_per_node: int = 60) -> None:
         query_text = "q(K, A) :- authored(K, A)"
     else:
         query_text = "q(K, A) :- author_of(K, A)"
-    answers = system.local_query(root, parse_query(query_text))
+    answers = session.query(root, query_text)
 
-    print(f"\nloaded records: {network.total_records} "
+    print(f"\nloaded rows: {scenario.total_rows} "
           f"({records_per_node} per node, 50% overlap distribution)")
     print(f"discovery: simulated time {discovery_time:.1f}")
     print(f"update:    simulated time {update_time:.1f}, "

@@ -14,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import SuperPeer, verify_against_centralized
+from repro import Session, verify_against_centralized
 from repro.coordination import DependencyGraph
 from repro.workloads import (
     build_paper_example,
@@ -41,12 +41,12 @@ def main() -> None:
         paths = ["".join(path) for path in graph.maximal_dependency_paths(node)]
         print(f"   {node}: {', '.join(paths) if paths else '(none)'}")
 
-    # Run both protocol phases with tracing enabled.
+    # Run both protocol phases with tracing enabled, through one session.
     system = build_paper_example(propagation="per_path")
     system.transport.enable_trace()
-    super_peer = SuperPeer(system, "A")
-    super_peer.run_discovery()
-    super_peer.run_global_update()
+    session = Session.of(system)
+    session.run("discovery", origins=["A"])
+    session.run("update")
 
     print("\nExecution trace (first 25 messages, cf. Figure 1):")
     for at_time, message in system.transport.trace[:25]:

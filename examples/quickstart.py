@@ -6,6 +6,9 @@ coordination rules let the `portal` peer import every project of the two lab
 peers; after the global update, queries at the portal are answered locally,
 without contacting the labs again — the core promise of the paper.
 
+The network is assembled with the fluent :class:`repro.NetworkBuilder` and
+driven through the unified :class:`repro.Session` façade.
+
 Run with::
 
     python examples/quickstart.py
@@ -13,55 +16,43 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    P2PSystem,
-    RelationSchema,
-    SuperPeer,
-    parse_query,
-    rule_from_text,
-)
-
+from repro import NetworkBuilder, RelationSchema
 
 def main() -> None:
-    # 1. Declare each peer's shared schema (the paper's DBS).
-    schemas = {
-        "lab_a": [RelationSchema("project", ["name", "topic", "year"])],
-        "lab_b": [RelationSchema("effort", ["acronym", "area"])],
-        "portal": [RelationSchema("catalogue", ["name", "topic"])],
-    }
-
-    # 2. Coordination rules: how the portal imports from the two labs.
-    #    Note the existential year in the second rule: lab_b does not track
+    # 1. Declare each peer's shared schema (the paper's DBS), the rules that
+    #    translate between them, and the initial data, then open a session.
+    #    Note the existential year in the lab_b rule: lab_b does not track
     #    years, so the portal stores a labelled null for it.
-    rules = [
-        rule_from_text("r_a", "lab_a: project(N, T, Y) -> portal: catalogue(N, T)"),
-        rule_from_text("r_b", "lab_b: effort(N, T) -> portal: catalogue(N, T)"),
-    ]
+    session = (
+        NetworkBuilder("quickstart")
+        .node("lab_a", RelationSchema("project", ["name", "topic", "year"]))
+        .node("lab_b", RelationSchema("effort", ["acronym", "area"]))
+        .node("portal", RelationSchema("catalogue", ["name", "topic"]))
+        .rule("r_a: lab_a: project(N, T, Y) -> portal: catalogue(N, T)")
+        .rule("r_b: lab_b: effort(N, T) -> portal: catalogue(N, T)")
+        .data("lab_a", "project", [
+            ("hyperion", "p2p databases", 2003),
+            ("piazza", "schema mediation", 2003),
+        ])
+        .data("lab_b", "effort", [
+            ("edutella", "rdf p2p"),
+            ("gridvine", "semantic overlay"),
+        ])
+        .super_peer("portal")
+        .session()
+    )
 
-    # 3. Initial data at the labs; the portal starts empty.
-    data = {
-        "lab_a": {
-            "project": [
-                ("hyperion", "p2p databases", 2003),
-                ("piazza", "schema mediation", 2003),
-            ]
-        },
-        "lab_b": {"effort": [("edutella", "rdf p2p"), ("gridvine", "semantic overlay")]},
-    }
+    # 2. Run topology discovery and the global update through the façade.
+    discovery = session.run("discovery")
+    update = session.update()
 
-    # 4. Build the system, run topology discovery and the global update.
-    system = P2PSystem.build(schemas, rules, data, super_peer="portal")
-    super_peer = SuperPeer(system)
-    discovery_time = super_peer.run_discovery()
-    update_time = super_peer.run_global_update()
+    # 3. Query the portal locally: every project is now available there.
+    answers = session.query("portal", "q(N, T) :- catalogue(N, T)")
 
-    # 5. Query the portal locally: every project is now available there.
-    answers = system.local_query("portal", parse_query("q(N, T) :- catalogue(N, T)"))
-    stats = super_peer.collect_statistics()
-
-    print("discovery finished at simulated time", discovery_time)
-    print("update    finished at simulated time", update_time)
-    print("messages exchanged:", stats.total_messages)
+    print("discovery finished at simulated time", discovery.completion_time)
+    print("update    finished at simulated time", update.completion_time)
+    print("messages exchanged:", update.stats.total_messages)
+    print("tuples imported:", update.tuples_added)
     print("portal catalogue (answered locally):")
     for name, topic in sorted(answers):
         print(f"  - {name}: {topic}")

@@ -10,16 +10,16 @@ harness that regenerate its evaluation.
 
 Quickstart::
 
-    from repro import build_paper_example, SuperPeer
+    from repro import Session, build_paper_example
 
-    system = build_paper_example()
-    super_peer = SuperPeer(system, "A")
-    super_peer.run_discovery()
-    super_peer.run_global_update()
-    print(system.node("A").database.facts())
+    session = Session.of(build_paper_example())
+    session.run("discovery")
+    result = session.update()          # or strategy="centralized" / "acyclic" / ...
+    print(result.completion_time, result.tuples_added)
+    print(session.query("A", "q(X, Y) :- a(X, Y)"))
 
-See README.md for the architecture overview and DESIGN.md / EXPERIMENTS.md for
-the experiment index.
+See README.md for the architecture overview, the new-API quickstart and the
+old → new migration table.
 """
 
 from repro.errors import (
@@ -74,6 +74,20 @@ from repro.core import (
     is_sound_answer,
     is_complete_answer,
     verify_against_centralized,
+)
+from repro.api import (
+    Session,
+    ScenarioSpec,
+    NetworkBuilder,
+    RunResult,
+    ExecutionEngine,
+    SyncEngine,
+    AsyncEngine,
+    engine_for,
+    UpdateStrategy,
+    register_strategy,
+    get_strategy,
+    available_strategies,
 )
 from repro.baselines import centralized_update, acyclic_update, query_time_answer
 from repro.workloads import (
@@ -142,6 +156,19 @@ __all__ = [
     "is_sound_answer",
     "is_complete_answer",
     "verify_against_centralized",
+    # api façade
+    "Session",
+    "ScenarioSpec",
+    "NetworkBuilder",
+    "RunResult",
+    "ExecutionEngine",
+    "SyncEngine",
+    "AsyncEngine",
+    "engine_for",
+    "UpdateStrategy",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
     # baselines
     "centralized_update",
     "acyclic_update",

@@ -1,0 +1,50 @@
+"""The library's front door: sessions, engines, strategies, specs.
+
+This package is the unified execution façade over the substrate in
+:mod:`repro.core`:
+
+* :class:`~repro.api.session.Session` — engine-agnostic runs
+  (``session.run("discovery")``) and strategy-pluggable updates
+  (``session.update(strategy="centralized")``),
+* :class:`~repro.api.engine.ExecutionEngine` with
+  :class:`~repro.api.engine.SyncEngine` / :class:`~repro.api.engine.AsyncEngine`,
+* :class:`~repro.api.strategies.UpdateStrategy` and its string-keyed registry
+  (``"distributed"``, ``"centralized"``, ``"acyclic"``, ``"querytime"``),
+* :class:`~repro.api.spec.ScenarioSpec` / :class:`~repro.api.spec.NetworkBuilder`
+  — declarative and fluent network construction,
+* :class:`~repro.api.result.RunResult` — the uniform result of every run.
+"""
+
+from repro.api.engine import (
+    PHASES,
+    AsyncEngine,
+    ExecutionEngine,
+    SyncEngine,
+    engine_for,
+)
+from repro.api.result import RunResult, diff_snapshots
+from repro.api.session import Session
+from repro.api.spec import NetworkBuilder, ScenarioSpec
+from repro.api.strategies import (
+    UpdateStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+
+__all__ = [
+    "PHASES",
+    "AsyncEngine",
+    "ExecutionEngine",
+    "SyncEngine",
+    "engine_for",
+    "RunResult",
+    "diff_snapshots",
+    "Session",
+    "NetworkBuilder",
+    "ScenarioSpec",
+    "UpdateStrategy",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
+]

@@ -1,0 +1,156 @@
+"""Execution engines: run a protocol phase to quiescence on either transport.
+
+The seed exposed ``run_discovery`` / ``run_discovery_async`` method pairs on
+:class:`~repro.core.system.P2PSystem`, each guarding against the wrong
+transport.  The façade factors that split into one :class:`ExecutionEngine`
+protocol with two implementations:
+
+* :class:`SyncEngine` drives a :class:`~repro.network.transport.SyncTransport`
+  (the deterministic discrete-event simulator) and reads the virtual clock,
+* :class:`AsyncEngine` drives an
+  :class:`~repro.network.transport.AsyncTransport`; its :meth:`AsyncEngine.run`
+  wraps the coroutine in ``asyncio.run`` so callers without an event loop use
+  the same blocking call signature.
+
+Both expose ``run`` (blocking) and ``run_async`` (awaitable) with identical
+semantics, so :meth:`repro.api.session.Session.run` works identically over
+both transports; :func:`engine_for` picks the right engine for a transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.coordination.rule import NodeId
+from repro.errors import ReproError
+from repro.network.transport import AsyncTransport, BaseTransport, SyncTransport
+from repro.stats.collector import StatsSnapshot
+
+#: The two protocol phases of the paper (Section 3).
+PHASES = ("discovery", "update")
+
+
+def start_phase(system, phase: str, origins: Iterable[NodeId] | None) -> list[NodeId]:
+    """Kick off ``phase`` at its origin nodes and return the origins used.
+
+    Discovery defaults to the super-peer initiating, as in the paper; the
+    update defaults to every node (the super-peer's global update request).
+    """
+    if phase == "discovery":
+        origin_list = list(origins) if origins is not None else [system.super_peer]
+        for origin in origin_list:
+            system.node(origin).discovery.start()
+    elif phase == "update":
+        origin_list = list(origins) if origins is not None else sorted(system.nodes)
+        for origin in origin_list:
+            system.node(origin).update.start()
+    else:
+        raise ReproError(f"unknown phase {phase!r}; expected one of {PHASES}")
+    return origin_list
+
+
+def finalize_phase(system, phase: str) -> None:
+    """Post-quiescence bookkeeping (discovery finalises every ``Paths`` relation)."""
+    if phase == "discovery":
+        for node in system.nodes.values():
+            node.discovery.finalize_paths()
+
+
+@runtime_checkable
+class ExecutionEngine(Protocol):
+    """Drives one protocol phase of a system to quiescence."""
+
+    name: str
+
+    def run(
+        self, system, phase: str, origins: Iterable[NodeId] | None = None
+    ) -> tuple[float, StatsSnapshot]:
+        """Blocking run; returns (simulated completion time, stats snapshot)."""
+        ...
+
+    async def run_async(
+        self, system, phase: str, origins: Iterable[NodeId] | None = None
+    ) -> tuple[float, StatsSnapshot]:
+        """Awaitable run with the same semantics as :meth:`run`."""
+        ...
+
+
+class SyncEngine:
+    """Engine for the deterministic discrete-event transport."""
+
+    name = "sync"
+
+    def _check(self, system) -> SyncTransport:
+        transport = system.transport
+        if not isinstance(transport, SyncTransport):
+            raise ReproError(
+                "the sync engine needs a SyncTransport; "
+                "use AsyncEngine (or Session.run, which picks the engine) instead"
+            )
+        return transport
+
+    def run(
+        self, system, phase: str, origins: Iterable[NodeId] | None = None
+    ) -> tuple[float, StatsSnapshot]:
+        transport = self._check(system)
+        start_phase(system, phase, origins)
+        completion = transport.run()
+        finalize_phase(system, phase)
+        return completion, system.stats.snapshot()
+
+    async def run_async(
+        self, system, phase: str, origins: Iterable[NodeId] | None = None
+    ) -> tuple[float, StatsSnapshot]:
+        return self.run(system, phase, origins)
+
+
+class AsyncEngine:
+    """Engine for the asyncio transport (every delivery an independent task)."""
+
+    name = "async"
+
+    def _check(self, system) -> AsyncTransport:
+        transport = system.transport
+        if not isinstance(transport, AsyncTransport):
+            raise ReproError(
+                "the async engine needs an AsyncTransport; "
+                "use SyncEngine (or Session.run, which picks the engine) instead"
+            )
+        return transport
+
+    def run(
+        self, system, phase: str, origins: Iterable[NodeId] | None = None
+    ) -> tuple[float, StatsSnapshot]:
+        self._check(system)
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            raise ReproError(
+                "the blocking run() was called from inside an event loop; "
+                "use 'await session.run_async(...)' there"
+            )
+        return asyncio.run(self.run_async(system, phase, origins))
+
+    async def run_async(
+        self, system, phase: str, origins: Iterable[NodeId] | None = None
+    ) -> tuple[float, StatsSnapshot]:
+        transport = self._check(system)
+        start_phase(system, phase, origins)
+        await transport.wait_quiescent()
+        finalize_phase(system, phase)
+        snapshot = system.stats.snapshot()
+        return snapshot.simulated_time, snapshot
+
+
+def engine_for(transport: BaseTransport) -> ExecutionEngine:
+    """The engine matching a transport instance."""
+    if isinstance(transport, SyncTransport):
+        return SyncEngine()
+    if isinstance(transport, AsyncTransport):
+        return AsyncEngine()
+    raise ReproError(
+        f"no execution engine for transport {type(transport).__name__!r}"
+    )

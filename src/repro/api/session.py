@@ -1,0 +1,226 @@
+"""The unified execution façade: one front door for every kind of run.
+
+A :class:`Session` binds a :class:`~repro.core.system.P2PSystem` (the
+state-holding substrate: nodes, rules, pipes, transport) to an
+:class:`~repro.api.engine.ExecutionEngine` picked to match its transport, and
+exposes the library's operations uniformly:
+
+* ``session.run("discovery")`` / ``session.run("update")`` — the paper's two
+  protocol phases, identical over the synchronous and the asyncio transport
+  (``await session.run_async(...)`` for callers already inside a loop),
+* ``session.update(strategy="centralized")`` — any registered
+  :class:`~repro.api.strategies.UpdateStrategy` (the paper's algorithm or one
+  of the three baselines), always returning a uniform
+  :class:`~repro.api.result.RunResult`,
+* ``session.query(node, "q(X) :- item(X, Y)")`` — local query answering.
+
+Sessions are built from a declarative :class:`~repro.api.spec.ScenarioSpec`
+(:meth:`Session.from_spec`), from loose parts (:meth:`Session.build`) or
+around an existing system (:meth:`Session.of`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Iterable, Mapping
+
+from repro.api.engine import ExecutionEngine, engine_for
+from repro.api.result import RunResult, diff_snapshots
+from repro.api.spec import ScenarioSpec
+from repro.api.strategies import get_strategy
+from repro.coordination.rule import CoordinationRule, NodeId
+from repro.database.parser import parse_query
+from repro.database.query import ConjunctiveQuery
+from repro.database.relation import Row
+from repro.database.schema import DatabaseSchema
+from repro.stats.collector import StatsSnapshot
+
+
+class Session:
+    """Engine-agnostic, strategy-pluggable execution over one system."""
+
+    def __init__(
+        self,
+        system,
+        *,
+        spec: ScenarioSpec | None = None,
+        engine: ExecutionEngine | None = None,
+        strategy: str | None = None,
+        capture_deltas: bool = True,
+    ):
+        self.system = system
+        self.spec = spec
+        self.engine = engine if engine is not None else engine_for(system.transport)
+        self.default_strategy = (
+            strategy
+            if strategy is not None
+            else (spec.strategy if spec is not None else "distributed")
+        )
+        # Live runs snapshot every database before and after to report the
+        # per-node deltas; timing-sensitive callers that only read the clock
+        # and the statistics can opt out of that copy work.
+        self.capture_deltas = capture_deltas
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec, **settings) -> "Session":
+        """Assemble the spec's system and open a session on it.
+
+        ``settings`` (e.g. ``capture_deltas=False``) are forwarded to the
+        :class:`Session` constructor.
+        """
+        return cls(spec.build_system(), spec=spec, **settings)
+
+    #: Session.build settings consumed by the Session constructor; everything
+    #: else goes to the ScenarioSpec.
+    _SESSION_SETTINGS = ("engine", "capture_deltas")
+
+    @classmethod
+    def build(
+        cls,
+        schemas: Mapping[NodeId, object],
+        rules: Iterable[CoordinationRule | str] = (),
+        data: Mapping[NodeId, Mapping[str, Iterable[Row]]] | None = None,
+        **settings,
+    ) -> "Session":
+        """Build a session from loose parts (see :meth:`ScenarioSpec.of`).
+
+        ``settings`` may mix spec fields (``transport=``, ``super_peer=``,
+        ``strategy=``, ...) with session options (``engine=``,
+        ``capture_deltas=``); each goes to the right constructor.
+        """
+        session_settings = {
+            key: settings.pop(key) for key in cls._SESSION_SETTINGS if key in settings
+        }
+        return cls.from_spec(
+            ScenarioSpec.of(schemas, rules, data, **settings), **session_settings
+        )
+
+    @classmethod
+    def of(cls, system, **kwargs) -> "Session":
+        """Open a session around an already-assembled system."""
+        return cls(system, **kwargs)
+
+    # ------------------------------------------------------------------ state
+
+    def schemas(self) -> dict[NodeId, DatabaseSchema]:
+        """Per-node schemas of the live system."""
+        return {
+            node_id: node.database.schema
+            for node_id, node in self.system.nodes.items()
+        }
+
+    def rules(self) -> list[CoordinationRule]:
+        """The currently installed coordination rules."""
+        return list(self.system.registry)
+
+    def databases(self) -> dict[NodeId, dict[str, frozenset[Row]]]:
+        """A snapshot of every node's relation contents."""
+        return self.system.databases()
+
+    def snapshot_stats(self) -> StatsSnapshot:
+        """The current statistics snapshot."""
+        return self.system.snapshot_stats()
+
+    def reset_statistics(self) -> None:
+        """Reset all counters (the super-peer's reset command)."""
+        self.system.reset_statistics()
+
+    @property
+    def super_peer(self) -> NodeId:
+        """The system's designated super-peer."""
+        return self.system.super_peer
+
+    # ------------------------------------------------------------------- runs
+
+    def _package(
+        self,
+        phase: str,
+        before: Mapping | None,
+        completion: float,
+        snapshot: StatsSnapshot,
+        started: float,
+    ) -> RunResult:
+        if before is None:
+            after: Mapping = {}
+            deltas: Mapping = {}
+        else:
+            after = self.system.databases()
+            deltas = diff_snapshots(before, after)
+        return RunResult(
+            phase=phase,
+            strategy=None,
+            engine=self.engine.name,
+            completion_time=completion,
+            wall_seconds=time.perf_counter() - started,
+            stats=snapshot,
+            databases=after,
+            deltas=deltas,
+        )
+
+    def run(
+        self, phase: str, *, origins: Iterable[NodeId] | None = None
+    ) -> RunResult:
+        """Run one protocol phase to quiescence, whatever the transport.
+
+        ``phase`` is ``"discovery"`` or ``"update"``; ``origins`` are the
+        initiating nodes (defaults: the super-peer for discovery, every node
+        for the update).
+        """
+        started = time.perf_counter()
+        before = self.system.databases() if self.capture_deltas else None
+        completion, snapshot = self.engine.run(self.system, phase, origins)
+        return self._package(phase, before, completion, snapshot, started)
+
+    async def run_async(
+        self, phase: str, *, origins: Iterable[NodeId] | None = None
+    ) -> RunResult:
+        """Awaitable variant of :meth:`run` for callers inside an event loop."""
+        started = time.perf_counter()
+        before = self.system.databases() if self.capture_deltas else None
+        completion, snapshot = await self.engine.run_async(self.system, phase, origins)
+        return self._package(phase, before, completion, snapshot, started)
+
+    def discover(self, *, origins: Iterable[NodeId] | None = None) -> RunResult:
+        """Shorthand for ``run("discovery")``."""
+        return self.run("discovery", origins=origins)
+
+    def update(
+        self,
+        strategy: str | None = None,
+        *,
+        origins: Iterable[NodeId] | None = None,
+        **options,
+    ) -> RunResult:
+        """Bring the network's data to a fix-point with the chosen strategy.
+
+        ``strategy`` names a registered :class:`UpdateStrategy` (default: the
+        session's — usually ``"distributed"``); ``options`` are forwarded to
+        it (e.g. ``force=True`` for ``"acyclic"``, ``node=``/``query=`` for
+        ``"querytime"``).  The result's fields mean the same thing whichever
+        strategy ran; a :class:`RunResult` with ``strategy`` set is returned.
+        """
+        name = strategy if strategy is not None else self.default_strategy
+        result = get_strategy(name).run(self, origins=origins, **options)
+        if result.strategy is None:
+            # The distributed strategy delegates to run(); tag its origin.
+            result = replace(result, strategy=name)
+        return result
+
+    # ---------------------------------------------------------------- queries
+
+    def query(
+        self, node_id: NodeId, query: ConjunctiveQuery | str
+    ) -> set[tuple]:
+        """Answer a query at ``node_id`` from its local data only."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.system.local_query(node_id, query)
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.system!r}, engine={self.engine.name!r}, "
+            f"strategy={self.default_strategy!r})"
+        )

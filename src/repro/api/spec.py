@@ -1,0 +1,262 @@
+"""Declarative scenarios and a fluent network builder.
+
+A :class:`ScenarioSpec` is everything a run needs in one object — schemas,
+rules, initial data, transport, propagation policy, latency, super-peer and a
+default update strategy — so experiments reduce to *spec + run + report* and
+can be stored, varied and replayed.  :class:`NetworkBuilder` constructs a spec
+(or directly a session) fluently::
+
+    session = (
+        NetworkBuilder("demo")
+        .node("a", RelationSchema("item", ["x", "y"]))
+        .node("b", RelationSchema("item", ["x", "y"]))
+        .rule("ab: b: item(X, Y) -> a: item(X, Y)")
+        .data("b", "item", [("1", "2")])
+        .super_peer("a")
+        .session()
+    )
+
+:meth:`ScenarioSpec.from_topology` packages the paper's DBLP workload (a
+topology plus generated schemas, rules and records) as a spec, which is what
+the Section 5 experiments run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
+
+from repro.coordination.rule import CoordinationRule, NodeId, rule_from_text
+from repro.database.relation import Row
+from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.errors import ReproError
+from repro.network.latency import LatencyModel
+from repro.network.transport import BaseTransport
+
+
+def _coerce_schema(schema) -> DatabaseSchema:
+    if isinstance(schema, DatabaseSchema):
+        return schema
+    if isinstance(schema, RelationSchema):
+        return DatabaseSchema([schema])
+    return DatabaseSchema(schema)
+
+
+def _coerce_rule(rule: CoordinationRule | str) -> CoordinationRule:
+    if isinstance(rule, CoordinationRule):
+        return rule
+    rule_id, separator, remainder = rule.partition(":")
+    if not separator or not remainder.strip():
+        raise ReproError(
+            f"cannot parse rule {rule!r}; expected 'rule_id: body -> target: head'"
+        )
+    return rule_from_text(rule_id.strip(), remainder.strip())
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, replayable description of one network scenario."""
+
+    schemas: Mapping[NodeId, DatabaseSchema]
+    rules: tuple[CoordinationRule, ...] = ()
+    data: Mapping[NodeId, Mapping[str, tuple[Row, ...]]] = field(default_factory=dict)
+    transport: str | BaseTransport = "sync"
+    propagation: str = "once"
+    latency: LatencyModel | None = None
+    super_peer: NodeId | None = None
+    strategy: str = "distributed"
+    max_messages: int = 1_000_000
+    name: str = "scenario"
+
+    @classmethod
+    def of(
+        cls,
+        schemas: Mapping[NodeId, DatabaseSchema | RelationSchema | Iterable[RelationSchema]],
+        rules: Iterable[CoordinationRule | str] = (),
+        data: Mapping[NodeId, Mapping[str, Iterable[Row]]] | None = None,
+        **settings,
+    ) -> "ScenarioSpec":
+        """Build a spec from loosely-typed parts (schema lists, rule strings)."""
+        return cls(
+            schemas={node: _coerce_schema(schema) for node, schema in schemas.items()},
+            rules=tuple(_coerce_rule(rule) for rule in rules),
+            data={
+                node: {relation: tuple(rows) for relation, rows in relations.items()}
+                for node, relations in (data or {}).items()
+            },
+            **settings,
+        )
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology,
+        *,
+        records_per_node: int = 100,
+        overlap_probability: float = 0.0,
+        overlap_fraction: float = 0.5,
+        seed: int = 0,
+        **settings,
+    ) -> "ScenarioSpec":
+        """The paper's DBLP sharing workload over a topology, as a spec."""
+        from repro.workloads.scenarios import dblp_workload_parts
+
+        rules, _assignment, schemas, data = dblp_workload_parts(
+            topology,
+            records_per_node=records_per_node,
+            overlap_probability=overlap_probability,
+            overlap_fraction=overlap_fraction,
+            seed=seed,
+        )
+        settings.setdefault("super_peer", topology.nodes[0])
+        settings.setdefault("name", f"{topology.name}/n={topology.node_count}")
+        settings.setdefault("max_messages", 2_000_000)  # build_dblp_network's bound
+        return cls(
+            schemas=schemas,
+            rules=tuple(rules),
+            data={
+                node: {relation: tuple(rows) for relation, rows in relations.items()}
+                for node, relations in data.items()
+            },
+            **settings,
+        )
+
+    def with_(self, **changes) -> "ScenarioSpec":
+        """A copy of the spec with some settings replaced."""
+        return replace(self, **changes)
+
+    @property
+    def node_count(self) -> int:
+        """Number of peers the spec declares."""
+        return len(self.schemas)
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of initial rows across all nodes and relations."""
+        return sum(
+            len(rows)
+            for relations in self.data.values()
+            for rows in relations.values()
+        )
+
+    def build_system(self):
+        """Assemble the spec into a fresh :class:`~repro.core.system.P2PSystem`.
+
+        A spec is replayable — each call builds an independent system — except
+        when it holds a *transport instance*, which can only back one system
+        (its peer registry and statistics are per-system state); in that case
+        a second build raises :class:`ReproError`.  Pass ``"sync"`` /
+        ``"async"`` to keep the spec fully replayable.
+        """
+        from repro.core.system import P2PSystem
+
+        if isinstance(self.transport, BaseTransport) and self.transport.peers:
+            raise ReproError(
+                "this spec holds a transport instance that already backs a "
+                "system; use transport='sync'/'async' for a replayable spec"
+            )
+        return P2PSystem.build(
+            self.schemas,
+            self.rules,
+            self.data or None,
+            transport=self.transport,
+            propagation=self.propagation,
+            latency=self.latency,
+            super_peer=self.super_peer,
+            max_messages=self.max_messages,
+        )
+
+
+class NetworkBuilder:
+    """Fluent construction of a :class:`ScenarioSpec` (and of sessions)."""
+
+    def __init__(self, name: str = "network"):
+        self._name = name
+        self._schemas: dict[NodeId, DatabaseSchema] = {}
+        self._rules: list[CoordinationRule] = []
+        self._data: dict[NodeId, dict[str, list[Row]]] = {}
+        self._settings: dict[str, object] = {}
+
+    def node(
+        self,
+        node_id: NodeId,
+        *relations: RelationSchema | DatabaseSchema,
+    ) -> "NetworkBuilder":
+        """Declare a peer and its shared relations."""
+        if node_id in self._schemas:
+            raise ReproError(f"node {node_id!r} is already declared")
+        if len(relations) == 1 and isinstance(relations[0], DatabaseSchema):
+            schema = relations[0]
+        else:
+            schema = DatabaseSchema(relations)
+        self._schemas[node_id] = schema
+        return self
+
+    def rule(self, rule: CoordinationRule | str) -> "NetworkBuilder":
+        """Add a coordination rule (an object or ``'id: body -> target'`` text)."""
+        self._rules.append(_coerce_rule(rule))
+        return self
+
+    def rules(self, rules: Iterable[CoordinationRule | str]) -> "NetworkBuilder":
+        """Add several coordination rules at once."""
+        for rule in rules:
+            self.rule(rule)
+        return self
+
+    def data(
+        self, node_id: NodeId, relation: str, rows: Iterable[Row]
+    ) -> "NetworkBuilder":
+        """Load initial rows into one relation of one peer."""
+        self._data.setdefault(node_id, {}).setdefault(relation, []).extend(rows)
+        return self
+
+    def transport(self, kind: str | BaseTransport) -> "NetworkBuilder":
+        """Select the transport: ``"sync"``, ``"async"`` or an instance."""
+        self._settings["transport"] = kind
+        return self
+
+    def propagation(self, policy: str) -> "NetworkBuilder":
+        """Select the query propagation policy of every node."""
+        self._settings["propagation"] = policy
+        return self
+
+    def latency(self, model: LatencyModel) -> "NetworkBuilder":
+        """Select the latency model of the transport."""
+        self._settings["latency"] = model
+        return self
+
+    def super_peer(self, node_id: NodeId) -> "NetworkBuilder":
+        """Designate the super-peer."""
+        self._settings["super_peer"] = node_id
+        return self
+
+    def strategy(self, name: str) -> "NetworkBuilder":
+        """Select the default update strategy of sessions built from the spec."""
+        self._settings["strategy"] = name
+        return self
+
+    def max_messages(self, count: int) -> "NetworkBuilder":
+        """Bound the number of deliveries before a run is declared divergent."""
+        self._settings["max_messages"] = count
+        return self
+
+    def build(self) -> ScenarioSpec:
+        """Freeze the builder into a :class:`ScenarioSpec`."""
+        if not self._schemas:
+            raise ReproError("a network needs at least one node")
+        return ScenarioSpec(
+            schemas=dict(self._schemas),
+            rules=tuple(self._rules),
+            data={
+                node: {relation: tuple(rows) for relation, rows in relations.items()}
+                for node, relations in self._data.items()
+            },
+            name=self._name,
+            **self._settings,
+        )
+
+    def session(self):
+        """Build the spec and open a :class:`~repro.api.session.Session` on it."""
+        from repro.api.session import Session
+
+        return Session.from_spec(self.build())

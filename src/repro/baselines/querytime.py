@@ -42,16 +42,30 @@ class QueryTimeResult:
     nodes_contacted: int
 
 
-def query_time_answer(
+@dataclass(frozen=True)
+class ClosureFetch:
+    """The accumulated state after fetching one node's dependency closure."""
+
+    databases: dict[NodeId, "LocalDatabase"]
+    messages: int
+    rounds: int
+    closure: frozenset[NodeId]
+
+
+def fetch_closure(
     schemas: SchemaSpec,
     rules: Iterable[CoordinationRule],
     data: DataSpec | None,
     node_id: NodeId,
-    query: ConjunctiveQuery,
     *,
     max_rounds: int = 10_000,
-) -> QueryTimeResult:
-    """Answer ``query`` at ``node_id`` by fetching remote data at query time."""
+) -> ClosureFetch:
+    """Fetch ``node_id``'s dependency closure round by round until its fix-point.
+
+    This is the message-paying part of query-time answering, factored out so
+    the strategy façade can report the accumulated databases; every
+    (rule, source) fetch in a round costs one query and one answer message.
+    """
     rules = list(rules)
     graph = DependencyGraph.from_rules(rules, nodes=schemas.keys())
     closure = graph.reachable_from(node_id)
@@ -89,10 +103,29 @@ def query_time_answer(
             if inserted:
                 changed = True
 
-    final_answers = frozenset(databases[node_id].query(query))
-    return QueryTimeResult(
-        answers=final_answers,
+    return ClosureFetch(
+        databases=databases,
         messages=messages,
         rounds=rounds,
-        nodes_contacted=len(closure) - 1,
+        closure=frozenset(closure),
+    )
+
+
+def query_time_answer(
+    schemas: SchemaSpec,
+    rules: Iterable[CoordinationRule],
+    data: DataSpec | None,
+    node_id: NodeId,
+    query: ConjunctiveQuery,
+    *,
+    max_rounds: int = 10_000,
+) -> QueryTimeResult:
+    """Answer ``query`` at ``node_id`` by fetching remote data at query time."""
+    fetch = fetch_closure(schemas, rules, data, node_id, max_rounds=max_rounds)
+    final_answers = frozenset(fetch.databases[node_id].query(query))
+    return QueryTimeResult(
+        answers=final_answers,
+        messages=fetch.messages,
+        rounds=fetch.rounds,
+        nodes_contacted=len(fetch.closure) - 1,
     )

@@ -1,10 +1,12 @@
 """Command-line entry point: run the paper's experiments from a terminal.
 
-``python -m repro.cli list`` shows the available experiments;
-``python -m repro.cli run E4 --records 30`` regenerates one of them and prints
-the same table the corresponding module's ``main()`` produces.  The CLI is a
-thin veneer over :mod:`repro.experiments`, so scripted runs (benchmarks,
-CI, notebooks) and interactive runs share exactly the same code paths.
+``python -m repro list`` shows the available experiments;
+``python -m repro run E4 --records 30`` regenerates one of them and prints
+the same table the corresponding module's ``main()`` produces, and
+``--strategy centralized`` reruns a workload experiment through any update
+strategy registered in :mod:`repro.api.strategies`.  The CLI is a thin veneer
+over :mod:`repro.experiments`, so scripted runs (benchmarks, CI, notebooks)
+and interactive runs share exactly the same code paths.
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ import argparse
 import sys
 from typing import Callable
 
+from repro.api.strategies import available_strategies
+from repro.errors import ReproError
 from repro.experiments import (
     baseline_comparison,
     complexity_growth,
@@ -38,7 +42,10 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
     ),
     "E3": (
         "scalability sweep over trees, layered DAGs and cliques",
-        lambda args: scalability.main(records_per_node=args.records),
+        lambda args: scalability.main(
+            records_per_node=args.records,
+            strategy=getattr(args, "strategy", "distributed"),
+        ),
     ),
     "E4": (
         "execution time vs depth (linearity)",
@@ -99,10 +106,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=40,
         help="number of trace rows to print for E2 (default 40)",
     )
+    run_parser.add_argument(
+        "--strategy",
+        choices=available_strategies(),
+        default="distributed",
+        help="update strategy for the workload experiments (default distributed)",
+    )
 
     run_all = subparsers.add_parser("run-all", help="run every experiment in order")
     run_all.add_argument("--records", type=int, default=20)
     run_all.add_argument("--limit", type=int, default=20)
+    run_all.add_argument(
+        "--strategy", choices=available_strategies(), default="distributed"
+    )
     return parser
 
 
@@ -128,14 +144,27 @@ def main(argv: list[str] | None = None) -> int:
         list_experiments()
         return 0
     if args.command == "run":
+        if args.strategy != "distributed" and args.experiment != "E3":
+            print(
+                f"note: {args.experiment} always runs the distributed protocol; "
+                f"--strategy {args.strategy} applies to E3"
+            )
         _description, run = _EXPERIMENTS[args.experiment]
-        run(args)
+        try:
+            run(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
         return 0
     if args.command == "run-all":
         for exp_id in sorted(_EXPERIMENTS, key=lambda e: int(e[1:])):
             print(f"\n===== {exp_id} =====")
             _description, run = _EXPERIMENTS[exp_id]
-            run(args)
+            try:
+                run(args)
+            except ReproError as error:
+                print(f"error in {exp_id}: {error}", file=sys.stderr)
+                return 1
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

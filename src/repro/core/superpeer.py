@@ -72,7 +72,11 @@ class SuperPeer:
 
     def run_discovery(self) -> float:
         """Initiate topology discovery from the super-peer and run to quiescence."""
-        return self.system.run_discovery(origins=[self.node_id])
+        from repro.api.engine import engine_for
+
+        engine = engine_for(self.system.transport)
+        completion, _snapshot = engine.run(self.system, "discovery", [self.node_id])
+        return completion
 
     def run_global_update(self, *, everywhere: bool = True) -> float:
         """Send the global update request and run the network to quiescence.
@@ -81,8 +85,12 @@ class SuperPeer:
         every node starts importing its data; with ``everywhere=False`` only
         the super-peer's own dependency closure is updated.
         """
+        from repro.api.engine import engine_for
+
         origins = None if everywhere else [self.node_id]
-        return self.system.run_global_update(origins=origins)
+        engine = engine_for(self.system.transport)
+        completion, _snapshot = engine.run(self.system, "update", origins)
+        return completion
 
     # ------------------------------------------------------------- statistics
 

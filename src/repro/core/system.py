@@ -1,16 +1,19 @@
 """The whole P2P database network: nodes, rules, pipes and transport.
 
-:class:`P2PSystem` is the library's main entry point.  It owns the rule
-registry, builds one :class:`~repro.core.node.PeerNode` per participating
+:class:`P2PSystem` is the state-holding substrate of the library.  It owns the
+rule registry, builds one :class:`~repro.core.node.PeerNode` per participating
 peer, wires every rule to its target (incoming) and source (outgoing) nodes,
-opens the pipes the prototype would open, and exposes the two protocol phases
-plus dynamic-network changes.  Most callers construct it through
-:meth:`P2PSystem.build` and then call :meth:`run_discovery` /
-:meth:`run_global_update` / :meth:`local_query`.
+opens the pipes the prototype would open, and applies dynamic-network changes.
+*Execution* lives one layer up: open a :class:`repro.api.Session` on the
+system (or build one with :class:`repro.api.NetworkBuilder` /
+:meth:`repro.api.Session.from_spec`) and call ``session.run("discovery")`` /
+``session.update(strategy=...)``.  The ``run_*`` methods still present here
+are deprecated shims kept for pre-façade callers.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Mapping
 
 from repro.coordination.depgraph import DependencyGraph
@@ -147,7 +150,7 @@ class P2PSystem:
     def load_data(self, data: DataSpec) -> None:
         """Bulk-load initial rows into the nodes' local databases."""
         for node_id, relations in data.items():
-            node = self.nodes[node_id]
+            node = self.node(node_id)
             for relation_name, rows in relations.items():
                 node.database.insert_many(relation_name, rows)
 
@@ -179,75 +182,63 @@ class P2PSystem:
         except KeyError:
             raise ReproError(f"unknown node {node_id!r}") from None
 
-    # -------------------------------------------------------------- protocols
+    # ------------------------------------------- protocols (deprecated shims)
+    #
+    # The execution logic lives in repro.api.engine; P2PSystem is the
+    # state-holding substrate.  These four methods remain as thin shims for
+    # pre-façade callers and will be removed in a future release.
+
+    def _deprecated(self, old: str, new: str) -> None:
+        warnings.warn(
+            f"P2PSystem.{old} is deprecated; use {new} "
+            "(see repro.api.Session)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     def run_discovery(self, origins: Iterable[NodeId] | None = None) -> float:
-        """Run the topology discovery phase to quiescence (synchronous transport).
+        """Deprecated: use ``Session.run("discovery")``.
 
-        ``origins`` are the nodes on whose behalf discovery is started; by
-        default only the super-peer initiates, as in the paper.  Returns the
-        simulated completion time.  After quiescence every participating node
-        finalises its ``Paths`` relation.
+        Runs topology discovery to quiescence on the synchronous transport and
+        returns the simulated completion time.
         """
-        self._require_sync()
-        origin_list = list(origins) if origins is not None else [self.super_peer]
-        for origin in origin_list:
-            self.node(origin).discovery.start()
-        completion = self.transport.run()  # type: ignore[attr-defined]
-        for node in self.nodes.values():
-            node.discovery.finalize_paths()
+        from repro.api.engine import SyncEngine
+
+        self._deprecated("run_discovery", 'Session.run("discovery")')
+        completion, _snapshot = SyncEngine().run(self, "discovery", origins)
         return completion
 
     def run_global_update(self, origins: Iterable[NodeId] | None = None) -> float:
-        """Run the distributed update phase to quiescence (synchronous transport).
+        """Deprecated: use ``Session.run("update")`` or ``Session.update()``.
 
-        ``origins`` defaults to *all* nodes — the paper's global update where
-        the super-peer's request reaches everybody and every node imports the
-        data it is entitled to.  Pass a single node to run a query-dependent
-        update that only involves that node's dependency closure.  Returns the
-        simulated completion time.
+        Runs the distributed update to quiescence on the synchronous transport
+        and returns the simulated completion time.
         """
-        self._require_sync()
-        origin_list = list(origins) if origins is not None else sorted(self.nodes)
-        for origin in origin_list:
-            self.node(origin).update.start()
-        return self.transport.run()  # type: ignore[attr-defined]
+        from repro.api.engine import SyncEngine
+
+        self._deprecated("run_global_update", 'Session.run("update")')
+        completion, _snapshot = SyncEngine().run(self, "update", origins)
+        return completion
 
     async def run_discovery_async(
         self, origins: Iterable[NodeId] | None = None
     ) -> StatsSnapshot:
-        """Asynchronous-transport variant of :meth:`run_discovery`."""
-        self._require_async()
-        origin_list = list(origins) if origins is not None else [self.super_peer]
-        for origin in origin_list:
-            self.node(origin).discovery.start()
-        await self.transport.wait_quiescent()  # type: ignore[attr-defined]
-        for node in self.nodes.values():
-            node.discovery.finalize_paths()
-        return self.stats.snapshot()
+        """Deprecated: use ``await Session.run_async("discovery")``."""
+        from repro.api.engine import AsyncEngine
+
+        self._deprecated("run_discovery_async", 'Session.run_async("discovery")')
+        _completion, snapshot = await AsyncEngine().run_async(self, "discovery", origins)
+        return snapshot
 
     async def run_global_update_async(
         self, origins: Iterable[NodeId] | None = None
     ) -> StatsSnapshot:
-        """Asynchronous-transport variant of :meth:`run_global_update`."""
-        self._require_async()
-        origin_list = list(origins) if origins is not None else sorted(self.nodes)
-        for origin in origin_list:
-            self.node(origin).update.start()
-        await self.transport.wait_quiescent()  # type: ignore[attr-defined]
-        return self.stats.snapshot()
+        """Deprecated: use ``await Session.run_async("update")``."""
+        from repro.api.engine import AsyncEngine
 
-    def _require_sync(self) -> None:
-        if not isinstance(self.transport, SyncTransport):
-            raise ReproError(
-                "this method needs a SyncTransport; use the *_async variant"
-            )
-
-    def _require_async(self) -> None:
-        if not isinstance(self.transport, AsyncTransport):
-            raise ReproError(
-                "this method needs an AsyncTransport; use the synchronous variant"
-            )
+        self._deprecated("run_global_update_async", 'Session.run_async("update")')
+        _completion, snapshot = await AsyncEngine().run_async(self, "update", origins)
+        return snapshot
 
     # ----------------------------------------------------------------- queries
 

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.session import Session
 from repro.coordination.depgraph import DependencyGraph
-from repro.core.superpeer import SuperPeer
 from repro.stats.report import format_table
 from repro.workloads.scenarios import build_paper_example, paper_example_rules
 
@@ -45,22 +45,20 @@ def run_paper_example() -> PaperExampleResult:
         for node in sorted(graph.nodes)
     }
 
-    system = build_paper_example(with_data=False)
-    super_peer = SuperPeer(system, "A")
+    session = Session.of(build_paper_example(with_data=False))
     # Start discovery at every node so each one learns its own paths, then
     # compare with the static ground truth.
-    discovery_time = system.run_discovery(origins=sorted(system.nodes))
-    snapshot = system.snapshot_stats()
+    discovery = session.run("discovery", origins=sorted(session.system.nodes))
     discovered_paths = {
         node_id: ["".join(path) for path in node.state.maximal_paths()]
-        for node_id, node in sorted(system.nodes.items())
+        for node_id, node in sorted(session.system.nodes.items())
     }
     return PaperExampleResult(
         edges=frozenset(graph.edges),
         static_paths=static_paths,
         discovered_paths=discovered_paths,
-        discovery_messages=snapshot.total_messages,
-        discovery_time=discovery_time,
+        discovery_messages=discovery.stats.total_messages,
+        discovery_time=discovery.completion_time,
     )
 
 

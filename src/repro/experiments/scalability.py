@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.errors import ReproError
 from repro.experiments.runner import UpdateRunResult, run_dblp_update
 from repro.stats.report import format_table
 from repro.workloads.topologies import (
@@ -63,42 +64,47 @@ def run_scalability(
     records_per_node: int = 50,
     overlap_probability: float = 0.0,
     seed: int = 0,
+    strategy: str = "distributed",
 ) -> list[UpdateRunResult]:
-    """Run the scalability sweep over all three topology families."""
+    """Run the scalability sweep over all three topology families.
+
+    ``strategy`` selects the registered update strategy the sweep measures
+    (the distributed protocol by default; see :mod:`repro.api.strategies`).
+    """
+    families = [
+        ("tree", tree_specs(tree_sizes)),
+        ("layered", layered_specs(layered_sizes, seed=seed)),
+        ("clique", clique_specs(clique_sizes)),
+    ]
     results: list[UpdateRunResult] = []
-    for spec in tree_specs(tree_sizes):
-        _, result = run_dblp_update(
-            spec,
-            records_per_node=records_per_node,
-            overlap_probability=overlap_probability,
-            seed=seed,
-            label=f"tree/n={spec.node_count}",
-        )
-        results.append(result)
-    for spec in layered_specs(layered_sizes, seed=seed):
-        _, result = run_dblp_update(
-            spec,
-            records_per_node=records_per_node,
-            overlap_probability=overlap_probability,
-            seed=seed,
-            label=f"layered/n={spec.node_count}",
-        )
-        results.append(result)
-    for spec in clique_specs(clique_sizes):
-        _, result = run_dblp_update(
-            spec,
-            records_per_node=records_per_node,
-            overlap_probability=overlap_probability,
-            seed=seed,
-            label=f"clique/n={spec.node_count}",
-        )
-        results.append(result)
+    for family, specs in families:
+        for spec in specs:
+            label = f"{family}/n={spec.node_count}"
+            try:
+                _, result = run_dblp_update(
+                    spec,
+                    records_per_node=records_per_node,
+                    overlap_probability=overlap_probability,
+                    seed=seed,
+                    label=label,
+                    strategy=strategy,
+                )
+            except ReproError as error:
+                # Reference strategies may be inapplicable (e.g. acyclic on a
+                # clique) — skip those rows.  A failure of the distributed
+                # protocol itself (divergence, exceeded message bound) is a
+                # real error and must not be swallowed.
+                if strategy == "distributed":
+                    raise
+                print(f"skipping {label} ({strategy}): {error}")
+                continue
+            results.append(result)
     return results
 
 
-def main(records_per_node: int = 50) -> str:
+def main(records_per_node: int = 50, strategy: str = "distributed") -> str:
     """Print the scalability table (one row per topology/size)."""
-    results = run_scalability(records_per_node=records_per_node)
+    results = run_scalability(records_per_node=records_per_node, strategy=strategy)
     rows = [
         [
             result.label,
@@ -124,7 +130,10 @@ def main(records_per_node: int = 50) -> str:
             "closed",
         ],
         rows,
-        title=f"E3 — scalability sweep ({records_per_node} records/node)",
+        title=(
+            f"E3 — scalability sweep ({records_per_node} records/node, "
+            f"{strategy} strategy)"
+        ),
     )
     print(table)
     return table

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.superpeer import SuperPeer
+from repro.api.session import Session
 from repro.stats.report import format_table
 from repro.workloads.scenarios import build_paper_example
 
@@ -53,9 +53,9 @@ def run_trace_example(*, propagation: str = "per_path") -> TraceResult:
     """Run discovery + update on the example with tracing enabled."""
     system = build_paper_example(propagation=propagation)
     system.transport.enable_trace()
-    super_peer = SuperPeer(system, "A")
-    discovery_time = super_peer.run_discovery()
-    update_time = super_peer.run_global_update()
+    session = Session.of(system)
+    discovery_time = session.run("discovery", origins=["A"]).completion_time
+    update_time = session.run("update").completion_time
 
     entries = tuple(
         TraceEntry(

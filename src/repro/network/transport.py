@@ -195,7 +195,34 @@ class AsyncTransport(BaseTransport):
         self._in_flight = 0
         self._quiescent = asyncio.Event()
         self._quiescent.set()
+        self._event_loop: asyncio.AbstractEventLoop | None = None
         self._start_time: float | None = None
+        self._sim_clock_offset = 0.0
+
+    def _quiescent_event(self) -> asyncio.Event:
+        """The quiescence event, re-bound when a new event loop takes over.
+
+        Each ``asyncio.run`` creates a fresh loop; an ``asyncio.Event`` binds
+        to the loop it is first awaited on, so a transport driven by several
+        consecutive ``asyncio.run`` calls (one per façade run) needs a fresh
+        event per loop.  Re-binding is only legal while nothing is in flight.
+        The simulated clock is frozen across the idle gap between loops —
+        like the synchronous transport's, it only advances with deliveries —
+        by restarting the wall-clock anchor from the time already simulated.
+        """
+        loop = asyncio.get_running_loop()
+        if self._event_loop is not loop:
+            if self._in_flight:
+                raise NetworkError(
+                    "the transport has deliveries in flight on another event loop"
+                )
+            self._event_loop = loop
+            self._quiescent = asyncio.Event()
+            self._quiescent.set()
+            if self._start_time is not None:
+                self._sim_clock_offset = self.stats.simulated_time
+                self._start_time = None
+        return self._quiescent
 
     def send(self, message: Message) -> None:
         """Schedule an asynchronous delivery of ``message``."""
@@ -204,8 +231,9 @@ class AsyncTransport(BaseTransport):
                 f"cannot send {message}: recipient is not registered"
             )
         loop = asyncio.get_running_loop()
+        event = self._quiescent_event()
         self._in_flight += 1
-        self._quiescent.clear()
+        event.clear()
         loop.create_task(self._deliver_later(message))
 
     async def _deliver_later(self, message: Message) -> None:
@@ -221,20 +249,23 @@ class AsyncTransport(BaseTransport):
             now = time.perf_counter()
             if self._start_time is None:
                 self._start_time = now
-            simulated = (now - self._start_time) / self.time_scale
+            simulated = (
+                self._sim_clock_offset + (now - self._start_time) / self.time_scale
+            )
             self._deliver(message, simulated)
         finally:
             self._in_flight -= 1
             if self._in_flight == 0:
-                self._quiescent.set()
+                self._quiescent_event().set()
 
     async def wait_quiescent(self, timeout: float | None = None) -> None:
         """Wait until no message is in flight (poll-free via an event)."""
         while True:
+            event = self._quiescent_event()
             if timeout is None:
-                await self._quiescent.wait()
+                await event.wait()
             else:
-                await asyncio.wait_for(self._quiescent.wait(), timeout)
+                await asyncio.wait_for(event.wait(), timeout)
             # A handler triggered by the last delivery may have sent new
             # messages between the event being set and us waking up; loop
             # until the event is still set after a zero-length yield.

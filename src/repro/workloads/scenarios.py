@@ -129,6 +129,43 @@ class DblpNetwork:
         }
 
 
+def dblp_workload_parts(
+    spec: TopologySpec,
+    *,
+    records_per_node: int = 100,
+    overlap_probability: float = 0.0,
+    overlap_fraction: float = 0.5,
+    seed: int = 0,
+) -> tuple[
+    list[CoordinationRule],
+    dict[NodeId, list[PublicationRecord]],
+    dict[NodeId, DatabaseSchema],
+    dict[NodeId, dict[str, list[Row]]],
+]:
+    """The raw parts of a DBLP sharing workload: rules, assignment, schemas, data.
+
+    This is the single place the workload is assembled; both
+    :func:`build_dblp_network` and :meth:`repro.api.ScenarioSpec.from_topology`
+    build on it.
+    """
+    rules = coordination_rules_for(spec)
+    assignment = distribute_records(
+        spec,
+        records_per_node,
+        overlap_probability=overlap_probability,
+        overlap_fraction=overlap_fraction,
+        seed=seed,
+    )
+    schemas = {
+        node: schema_for_variant(spec.variant_of(node)) for node in spec.nodes
+    }
+    data = {
+        node: rows_for_variant(records, spec.variant_of(node))
+        for node, records in assignment.items()
+    }
+    return rules, assignment, schemas, data
+
+
 def build_dblp_network(
     spec: TopologySpec,
     *,
@@ -149,21 +186,13 @@ def build_dblp_network(
     the coordination rules translate between the variants along every import
     edge.
     """
-    rules = coordination_rules_for(spec)
-    assignment = distribute_records(
+    rules, assignment, schemas, data = dblp_workload_parts(
         spec,
-        records_per_node,
+        records_per_node=records_per_node,
         overlap_probability=overlap_probability,
         overlap_fraction=overlap_fraction,
         seed=seed,
     )
-    schemas = {
-        node: schema_for_variant(spec.variant_of(node)) for node in spec.nodes
-    }
-    data = {
-        node: rows_for_variant(records, spec.variant_of(node))
-        for node, records in assignment.items()
-    }
     system = P2PSystem.build(
         schemas,
         rules,
