@@ -5,11 +5,16 @@ The paper ran up to 31 peers with ~1000 records each; the benchmark keeps the
 The shape that must hold: messages and time grow with the node count, every
 run reaches the fix-point, and trees stay far cheaper than cliques of similar
 size.
+
+The sharded extension goes past the paper's 31 nodes: the same update on
+~127- and ~511-node topologies under the partitioned engine, with per-shard
+and cross-shard message counts as the record.
 """
 
 import pytest
 
 from repro.experiments.runner import run_dblp_update
+from repro.experiments.scalability import run_shard_scalability
 from repro.workloads.topologies import clique_topology, layered_topology, tree_topology
 
 RECORDS = 25
@@ -52,6 +57,36 @@ def test_bench_layered_scalability(benchmark, depth):
         update_time=result.update_time,
     )
     assert result.all_closed
+
+
+@pytest.mark.parametrize("size", [127, 511])
+def test_bench_sharded_scalability(benchmark, size):
+    """Sync vs sharded update on trees/DAGs far past the paper's 31 nodes.
+
+    The extended E3 sweep: the same global update on a ~``size``-node tree
+    and layered DAG under both engines, with the shard traffic (per-shard and
+    cross-shard deliveries) recorded as the experiment's headline numbers.
+    """
+    def run():
+        return run_shard_scalability(
+            sizes=(size,), shards=4, records_per_node=3, check_parity=True
+        )
+
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+    tree = comparisons[0]
+    benchmark.extra_info.update(
+        nodes=tree.node_count,
+        shards=tree.shards,
+        sync_messages=tree.sync_messages,
+        sharded_messages=tree.sharded_messages,
+        messages_by_shard=tree.messages_by_shard,
+        cross_shard_messages=tree.cross_shard_messages,
+        cut_ratio=round(tree.cut_ratio, 4),
+    )
+    for comparison in comparisons:
+        assert comparison.parity
+        assert comparison.cross_shard_messages > 0
+        assert comparison.cut_ratio < 0.5  # the planner keeps most traffic local
 
 
 @pytest.mark.parametrize("size", [3, 5, 7, 9])

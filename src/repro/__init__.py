@@ -102,6 +102,12 @@ from repro.workloads import (
     build_paper_example,
     build_dblp_network,
 )
+from repro.sharding import (
+    ShardPlan,
+    ShardPlanner,
+    ShardedEngine,
+    ShardedTransport,
+)
 from repro.stats import StatisticsCollector, format_table
 
 __version__ = "0.1.0"
@@ -169,6 +175,11 @@ __all__ = [
     "register_strategy",
     "get_strategy",
     "available_strategies",
+    # sharding
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedEngine",
+    "ShardedTransport",
     # baselines
     "centralized_update",
     "acyclic_update",

@@ -15,6 +15,9 @@ protocol with two implementations:
 Both expose ``run`` (blocking) and ``run_async`` (awaitable) with identical
 semantics, so :meth:`repro.api.session.Session.run` works identically over
 both transports; :func:`engine_for` picks the right engine for a transport.
+A third implementation, :class:`repro.sharding.engine.ShardedEngine`, drives
+the partitioned :class:`~repro.sharding.transport.ShardedTransport` through
+the same protocol and is selected the same way.
 """
 
 from __future__ import annotations
@@ -147,10 +150,17 @@ class AsyncEngine:
 
 def engine_for(transport: BaseTransport) -> ExecutionEngine:
     """The engine matching a transport instance."""
+    # Imported lazily: repro.sharding imports this module for the phase
+    # helpers, so a top-level import would be circular.
+    from repro.sharding.engine import ShardedEngine
+    from repro.sharding.transport import ShardedTransport
+
     if isinstance(transport, SyncTransport):
         return SyncEngine()
     if isinstance(transport, AsyncTransport):
         return AsyncEngine()
+    if isinstance(transport, ShardedTransport):
+        return ShardedEngine()
     raise ReproError(
         f"no execution engine for transport {type(transport).__name__!r}"
     )

@@ -22,6 +22,7 @@ around an existing system (:meth:`Session.of`).
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import replace
 from typing import Iterable, Mapping
 
@@ -40,6 +41,9 @@ from repro.stats.collector import StatsSnapshot
 class Session:
     """Engine-agnostic, strategy-pluggable execution over one system."""
 
+    #: Bound on memoized reference fix-points kept per session (LRU evicted).
+    _CACHE_LIMIT = 32
+
     def __init__(
         self,
         system,
@@ -48,6 +52,7 @@ class Session:
         engine: ExecutionEngine | None = None,
         strategy: str | None = None,
         capture_deltas: bool = True,
+        cache_strategies: bool = True,
     ):
         self.system = system
         self.spec = spec
@@ -61,6 +66,17 @@ class Session:
         # per-node deltas; timing-sensitive callers that only read the clock
         # and the statistics can opt out of that copy work.
         self.capture_deltas = capture_deltas
+        # Reference strategies (everything but "distributed") are pure
+        # functions of (rules, data, options): their results are memoized so
+        # repeated comparisons — E9, parity sweeps — stop recomputing the
+        # same fix-point.  The key embeds a fingerprint of the rule set and
+        # every relation's contents, so dynamic changes (addLink/deleteLink,
+        # any insertion, a distributed run) invalidate stale entries by
+        # construction.
+        self.cache_strategies = cache_strategies
+        self._strategy_cache: OrderedDict[tuple, RunResult] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # ------------------------------------------------------------ construction
 
@@ -75,7 +91,7 @@ class Session:
 
     #: Session.build settings consumed by the Session constructor; everything
     #: else goes to the ScenarioSpec.
-    _SESSION_SETTINGS = ("engine", "capture_deltas")
+    _SESSION_SETTINGS = ("engine", "capture_deltas", "cache_strategies")
 
     @classmethod
     def build(
@@ -201,13 +217,82 @@ class Session:
         it (e.g. ``force=True`` for ``"acyclic"``, ``node=``/``query=`` for
         ``"querytime"``).  The result's fields mean the same thing whichever
         strategy ran; a :class:`RunResult` with ``strategy`` set is returned.
+
+        Reference strategies are memoized per session (see
+        :meth:`cache_info`); a served entry carries ``extras["cache_hit"]``.
         """
         name = strategy if strategy is not None else self.default_strategy
+        # Materialise one-shot iterables first: the cache key and the
+        # strategy must both see the same origins.
+        origins = tuple(origins) if origins is not None else None
+        key = self._strategy_cache_key(name, origins, options)
+        if key is not None:
+            cached = self._strategy_cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                self._strategy_cache.move_to_end(key)
+                return replace(cached, extras={**cached.extras, "cache_hit": True})
         result = get_strategy(name).run(self, origins=origins, **options)
         if result.strategy is None:
             # The distributed strategy delegates to run(); tag its origin.
             result = replace(result, strategy=name)
+        if key is not None:
+            self._cache_misses += 1
+            self._strategy_cache[key] = result
+            while len(self._strategy_cache) > self._CACHE_LIMIT:
+                self._strategy_cache.popitem(last=False)
         return result
+
+    # ------------------------------------------------------- strategy caching
+
+    def _strategy_cache_key(self, name: str, origins, options) -> tuple | None:
+        """The memoization key, or None when the call must not be cached.
+
+        Only reference strategies cache (the distributed strategy mutates the
+        live system, so rerunning it is the point); unhashable options (rare
+        — e.g. a callable) simply bypass the cache.
+        """
+        if not self.cache_strategies or name == "distributed":
+            return None
+        try:
+            key = (
+                name,
+                origins,
+                tuple(sorted(options.items())),
+                self._state_fingerprint(),
+            )
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def _state_fingerprint(self) -> tuple:
+        """A hashable digest of the rule set and every relation's contents.
+
+        This is what makes cache invalidation structural: ``addLink`` /
+        ``deleteLink`` changes the rule part, and any insertion — a chase, a
+        distributed run, a bulk load — changes the data part, so stale
+        entries can never be served.
+        """
+        rules = tuple(str(rule) for rule in self.system.registry)
+        data = tuple(
+            (node_id, tuple(sorted(relations.items())))
+            for node_id, relations in sorted(self.system.databases().items())
+        )
+        return (rules, data)
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and current size of the strategy cache."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._strategy_cache),
+            "limit": self._CACHE_LIMIT,
+        }
+
+    def clear_strategy_cache(self) -> None:
+        """Drop every memoized reference fix-point (counters stay)."""
+        self._strategy_cache.clear()
 
     # ---------------------------------------------------------------- queries
 

@@ -23,15 +23,20 @@ the Section 5 experiments run on.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.coordination.rule import CoordinationRule, NodeId, rule_from_text
 from repro.database.relation import Row
-from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.database.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.errors import ReproError
-from repro.network.latency import LatencyModel
+from repro.network.latency import ConstantLatency, LatencyModel, UniformLatency
 from repro.network.transport import BaseTransport
+
+#: Format tag written into dumped scenario files.
+_SPEC_FORMAT = "repro-scenario/1"
 
 
 def _coerce_schema(schema) -> DatabaseSchema:
@@ -40,6 +45,37 @@ def _coerce_schema(schema) -> DatabaseSchema:
     if isinstance(schema, RelationSchema):
         return DatabaseSchema([schema])
     return DatabaseSchema(schema)
+
+
+def _dump_latency(latency: LatencyModel | None) -> dict | None:
+    if latency is None:
+        return None
+    if isinstance(latency, ConstantLatency):
+        return {"kind": "constant", "delay": latency.delay}
+    if isinstance(latency, UniformLatency):
+        return {
+            "kind": "uniform",
+            "low": latency.low,
+            "high": latency.high,
+            "seed": latency.seed,
+        }
+    raise ReproError(
+        f"cannot serialise latency model {type(latency).__name__}; "
+        "only ConstantLatency/UniformLatency (or None) dump to JSON"
+    )
+
+
+def _load_latency(document: dict | None) -> LatencyModel | None:
+    if document is None:
+        return None
+    kind = document.get("kind")
+    if kind == "constant":
+        return ConstantLatency(document["delay"])
+    if kind == "uniform":
+        return UniformLatency(
+            document["low"], document["high"], document.get("seed", 0)
+        )
+    raise ReproError(f"unknown latency kind {kind!r} in scenario JSON")
 
 
 def _coerce_rule(rule: CoordinationRule | str) -> CoordinationRule:
@@ -67,6 +103,10 @@ class ScenarioSpec:
     strategy: str = "distributed"
     max_messages: int = 1_000_000
     name: str = "scenario"
+    #: Shard count for the sharded transport.  Setting it on a spec whose
+    #: transport is the default ``"sync"`` selects ``"sharded"`` implicitly,
+    #: so ``spec.with_(shards=4)`` is the whole knob.
+    shards: int | None = None
 
     @classmethod
     def of(
@@ -125,6 +165,113 @@ class ScenarioSpec:
         """A copy of the spec with some settings replaced."""
         return replace(self, **changes)
 
+    # -------------------------------------------------------------- (de)serialisation
+
+    def dump_json(self, path: str | Path | None = None, *, indent: int = 2) -> str:
+        """Serialise the spec to JSON (and write it to ``path`` when given).
+
+        The result round-trips through :meth:`load_json`, so sweep
+        configurations can live as checked-in spec files.  Only replayable
+        specs serialise: the transport must be a kind string (not a live
+        instance) and the latency model constant, uniform or absent.
+        """
+        if isinstance(self.transport, BaseTransport):
+            raise ReproError(
+                "cannot dump a spec holding a transport instance; "
+                "use transport='sync'/'async'/'sharded'"
+            )
+        document = {
+            "format": _SPEC_FORMAT,
+            "name": self.name,
+            "transport": self.transport,
+            "propagation": self.propagation,
+            "latency": _dump_latency(self.latency),
+            "super_peer": self.super_peer,
+            "strategy": self.strategy,
+            "max_messages": self.max_messages,
+            "shards": self.shards,
+            "schemas": {
+                node: [
+                    {
+                        "name": relation.name,
+                        "attributes": [
+                            {"name": attr.name, "dtype": attr.dtype}
+                            for attr in relation.attributes
+                        ],
+                    }
+                    for relation in schema
+                ]
+                for node, schema in self.schemas.items()
+            },
+            "rules": [str(rule) for rule in self.rules],
+            "data": {
+                node: {
+                    relation: [list(row) for row in sorted(rows, key=repr)]
+                    for relation, rows in relations.items()
+                }
+                for node, relations in self.data.items()
+            },
+        }
+        text = json.dumps(document, indent=indent)
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text
+
+    @classmethod
+    def load_json(cls, source: str | Path) -> "ScenarioSpec":
+        """Rebuild a spec dumped by :meth:`dump_json`.
+
+        ``source`` is a path to a spec file, or the JSON text itself (any
+        string whose first non-blank character is ``{``).
+        """
+        if isinstance(source, Path):
+            text = source.read_text(encoding="utf-8")
+        elif source.lstrip().startswith("{"):
+            text = source
+        else:
+            text = Path(source).read_text(encoding="utf-8")
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"invalid scenario JSON: {error}") from None
+        if document.get("format") != _SPEC_FORMAT:
+            raise ReproError(
+                f"unsupported scenario format {document.get('format')!r}; "
+                f"expected {_SPEC_FORMAT!r}"
+            )
+        schemas = {
+            node: DatabaseSchema(
+                RelationSchema(
+                    relation["name"],
+                    [
+                        Attribute(attr["name"], attr.get("dtype", "str"))
+                        for attr in relation["attributes"]
+                    ],
+                )
+                for relation in relations
+            )
+            for node, relations in document["schemas"].items()
+        }
+        return cls(
+            schemas=schemas,
+            rules=tuple(_coerce_rule(rule) for rule in document.get("rules", ())),
+            data={
+                node: {
+                    relation: tuple(tuple(row) for row in rows)
+                    for relation, rows in relations.items()
+                }
+                for node, relations in document.get("data", {}).items()
+            },
+            transport=document.get("transport", "sync"),
+            propagation=document.get("propagation", "once"),
+            latency=_load_latency(document.get("latency")),
+            super_peer=document.get("super_peer"),
+            strategy=document.get("strategy", "distributed"),
+            max_messages=document.get("max_messages", 1_000_000),
+            name=document.get("name", "scenario"),
+            shards=document.get("shards"),
+        )
+
     @property
     def node_count(self) -> int:
         """Number of peers the spec declares."""
@@ -155,15 +302,26 @@ class ScenarioSpec:
                 "this spec holds a transport instance that already backs a "
                 "system; use transport='sync'/'async' for a replayable spec"
             )
+        transport = self.transport
+        if self.shards is not None:
+            if transport == "sync":
+                transport = "sharded"
+            elif transport != "sharded":
+                raise ReproError(
+                    f"shards={self.shards} needs the sharded transport, but the "
+                    f"spec selects {transport if isinstance(transport, str) else type(transport).__name__!r}; "
+                    "drop the shards setting or use transport='sharded'"
+                )
         return P2PSystem.build(
             self.schemas,
             self.rules,
             self.data or None,
-            transport=self.transport,
+            transport=transport,
             propagation=self.propagation,
             latency=self.latency,
             super_peer=self.super_peer,
             max_messages=self.max_messages,
+            shards=self.shards,
         )
 
 
@@ -211,8 +369,13 @@ class NetworkBuilder:
         return self
 
     def transport(self, kind: str | BaseTransport) -> "NetworkBuilder":
-        """Select the transport: ``"sync"``, ``"async"`` or an instance."""
+        """Select the transport: ``"sync"``, ``"async"``, ``"sharded"`` or an instance."""
         self._settings["transport"] = kind
+        return self
+
+    def shards(self, count: int) -> "NetworkBuilder":
+        """Run over the sharded transport with ``count`` shards."""
+        self._settings["shards"] = count
         return self
 
     def propagation(self, policy: str) -> "NetworkBuilder":

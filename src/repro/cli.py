@@ -30,6 +30,17 @@ from repro.experiments import (
     trace_example,
 )
 
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    """Parse the --sizes flag ("127,511") into node counts."""
+    try:
+        sizes = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ReproError(f"--sizes expects comma-separated integers, got {text!r}")
+    if not sizes:
+        raise ReproError("--sizes needs at least one node count")
+    return sizes
+
+
 #: Experiment id → (description, callable taking the parsed args).
 _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
     "E1": (
@@ -42,22 +53,39 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
     ),
     "E3": (
         "scalability sweep over trees, layered DAGs and cliques",
-        lambda args: scalability.main(
-            records_per_node=args.records,
-            strategy=getattr(args, "strategy", "distributed"),
+        lambda args: (
+            scalability.shard_main(
+                records_per_node=getattr(args, "shard_records", 3),
+                shards=getattr(args, "shards", 4),
+                sizes=_parse_sizes(getattr(args, "sizes", "127,511")),
+            )
+            if getattr(args, "engine", "sync") == "sharded"
+            else scalability.main(
+                records_per_node=args.records,
+                strategy=getattr(args, "strategy", "distributed"),
+            )
         ),
     ),
     "E4": (
         "execution time vs depth (linearity)",
-        lambda args: depth_linearity.main(records_per_node=args.records),
+        lambda args: depth_linearity.main(
+            records_per_node=args.records,
+            strategy=getattr(args, "strategy", "distributed"),
+        ),
     ),
     "E5": (
         "data distributions: disjoint vs 50% overlap",
-        lambda args: data_distribution.main(records_per_node=args.records),
+        lambda args: data_distribution.main(
+            records_per_node=args.records,
+            strategy=getattr(args, "strategy", "distributed"),
+        ),
     ),
     "E6": (
         "per-node statistics / duplicate queries on a clique",
-        lambda args: message_accounting.main(records_per_node=args.records),
+        lambda args: message_accounting.main(
+            records_per_node=args.records,
+            strategy=getattr(args, "strategy", "distributed"),
+        ),
     ),
     "E7": (
         "update interleaved with addLink/deleteLink (Theorem 2)",
@@ -112,6 +140,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="distributed",
         help="update strategy for the workload experiments (default distributed)",
     )
+    run_parser.add_argument(
+        "--engine",
+        choices=("sync", "sharded"),
+        default="sync",
+        help=(
+            "execution engine for E3: 'sharded' runs the large sync-vs-sharded "
+            "sweep instead of the paper-sized one (default sync)"
+        ),
+    )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for --engine sharded (default 4)",
+    )
+    run_parser.add_argument(
+        "--sizes",
+        default="127,511",
+        help="comma-separated node counts for --engine sharded (default 127,511)",
+    )
+    run_parser.add_argument(
+        "--shard-records",
+        dest="shard_records",
+        type=int,
+        default=3,
+        help="records per node for the sharded sweep (default 3; the sweep "
+        "runs hundreds of nodes, so it stays small independently of --records)",
+    )
 
     run_all = subparsers.add_parser("run-all", help="run every experiment in order")
     run_all.add_argument("--records", type=int, default=20)
@@ -144,10 +200,25 @@ def main(argv: list[str] | None = None) -> int:
         list_experiments()
         return 0
     if args.command == "run":
-        if args.strategy != "distributed" and args.experiment != "E3":
+        if args.strategy != "distributed" and args.experiment not in (
+            "E3",
+            "E4",
+            "E5",
+            "E6",
+        ):
             print(
                 f"note: {args.experiment} always runs the distributed protocol; "
-                f"--strategy {args.strategy} applies to E3"
+                f"--strategy {args.strategy} applies to E3-E6"
+            )
+        if args.engine == "sharded" and args.experiment != "E3":
+            print(
+                f"note: --engine sharded selects the E3 sharded sweep; "
+                f"{args.experiment} runs its usual configuration"
+            )
+        if args.engine == "sharded" and args.strategy != "distributed":
+            print(
+                "note: the sharded sweep always runs the distributed protocol; "
+                f"--strategy {args.strategy} is ignored with --engine sharded"
             )
         _description, run = _EXPERIMENTS[args.experiment]
         try:

@@ -65,12 +65,15 @@ class P2PSystem:
         propagation: str = "once",
         super_peer: NodeId | None = None,
         max_messages: int = 1_000_000,
+        shards: int | None = None,
     ) -> "P2PSystem":
         """Build a system from per-node schemas, rules and initial data.
 
         ``transport`` is either an existing transport instance or the string
-        ``"sync"`` / ``"async"``; ``propagation`` selects the query
-        propagation policy of every node (see :mod:`repro.core.update`).
+        ``"sync"`` / ``"async"`` / ``"sharded"``; ``shards`` sets the shard
+        count of the sharded transport (default 2, ignored otherwise);
+        ``propagation`` selects the query propagation policy of every node
+        (see :mod:`repro.core.update`).
         """
         if isinstance(transport, BaseTransport):
             transport_obj = transport
@@ -78,6 +81,14 @@ class P2PSystem:
             transport_obj = SyncTransport(latency=latency, max_messages=max_messages)
         elif transport == "async":
             transport_obj = AsyncTransport(latency=latency, max_messages=max_messages)
+        elif transport == "sharded":
+            from repro.sharding.transport import ShardedTransport
+
+            transport_obj = ShardedTransport(
+                shard_count=shards if shards is not None else 2,
+                latency=latency,
+                max_messages=max_messages,
+            )
         else:
             raise ReproError(f"unknown transport kind {transport!r}")
 

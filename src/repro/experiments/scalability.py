@@ -14,8 +14,12 @@ and can be raised to the paper's 1000 records/node via ``records_per_node``.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Sequence
 
+from repro.api.session import Session
+from repro.api.spec import ScenarioSpec
 from repro.errors import ReproError
 from repro.experiments.runner import UpdateRunResult, run_dblp_update
 from repro.stats.report import format_table
@@ -100,6 +104,182 @@ def run_scalability(
                 continue
             results.append(result)
     return results
+
+
+# ------------------------------------------------------- the sharded extension
+#
+# The paper stopped at 31 peers; the sharded engine pushes the same update
+# protocol to hundreds or thousands.  This sweep compares the single-queue
+# SyncEngine with the partitioned ShardedEngine on large trees and layered
+# DAGs.  Topology discovery is skipped at these sizes (the update phase does
+# not depend on it, and maximal-path enumeration on dense layered graphs is
+# exactly the blow-up the paper's complexity section predicts).
+
+
+@dataclass(frozen=True)
+class ShardComparison:
+    """One topology run under both engines, plus the shard traffic view."""
+
+    label: str
+    node_count: int
+    shards: int
+    sync_time: float
+    sync_wall: float
+    sync_messages: int
+    sharded_time: float
+    sharded_wall: float
+    sharded_messages: int
+    cross_shard_messages: int
+    cut_ratio: float
+    messages_by_shard: dict[int, int]
+    parity: bool
+
+    @property
+    def per_shard_column(self) -> str:
+        """Per-shard delivery counts rendered ``a/b/c/d`` in shard order."""
+        return "/".join(
+            str(count) for _shard, count in sorted(self.messages_by_shard.items())
+        )
+
+
+def shard_sweep_specs(
+    sizes: Sequence[int] = (127, 511),
+    *,
+    max_imports: int = 2,
+    seed: int = 0,
+) -> list[TopologySpec]:
+    """Large topologies for the sharded sweep: one tree + one layered DAG per size.
+
+    Trees are the complete binary trees closest to each requested size.
+    Layered DAGs take a wide-and-shallow shape (depth ≈ log2(size), width
+    sized to match) with each node's fan-in capped at ``max_imports`` —
+    uncapped layered graphs are quadratic in the width and the per-layer
+    re-propagation makes the message count explode long before 500 nodes.
+    """
+    specs: list[TopologySpec] = []
+    for size in sizes:
+        depth = max(1, (size + 1).bit_length() - 2)
+        specs.append(tree_topology(depth, fanout=2))
+    for size in sizes:
+        depth = max(2, size.bit_length() - 1)
+        width = max(2, round(size / (depth + 1)))
+        specs.append(
+            layered_topology(depth, width=width, seed=seed, max_imports=max_imports)
+        )
+    return specs
+
+
+def run_shard_scalability(
+    *,
+    sizes: Sequence[int] = (127, 511),
+    shards: int = 4,
+    records_per_node: int = 3,
+    max_imports: int = 2,
+    seed: int = 0,
+    check_parity: bool = True,
+) -> list[ShardComparison]:
+    """Run the global update under the sync and the sharded engine side by side.
+
+    Reports, per topology: simulated completion time and wall-clock for both
+    engines, per-shard delivery counts, and the cross-shard (cut) traffic the
+    planner could not avoid.  ``check_parity`` additionally compares the two
+    final ground states (the Lemma 1 guarantee, now at scale).
+    """
+    comparisons: list[ShardComparison] = []
+    for spec in shard_sweep_specs(sizes, max_imports=max_imports, seed=seed):
+        scenario = ScenarioSpec.from_topology(
+            spec, records_per_node=records_per_node, seed=seed
+        )
+        label = f"{spec.name}/n={spec.node_count}"
+
+        started = time.perf_counter()
+        sync_session = Session.from_spec(scenario, capture_deltas=False)
+        sync_result = sync_session.run("update")
+        sync_wall = time.perf_counter() - started
+
+        started = time.perf_counter()
+        sharded_session = Session.from_spec(
+            scenario.with_(shards=shards), capture_deltas=False
+        )
+        sharded_result = sharded_session.run("update")
+        sharded_wall = time.perf_counter() - started
+
+        traffic = sharded_result.stats.sharding
+        assert traffic is not None  # the sharded engine always attaches it
+        parity = True
+        if check_parity:
+            from repro.core.fixpoint import ground_part
+
+            parity = ground_part(sync_session.databases()) == ground_part(
+                sharded_session.databases()
+            )
+        comparisons.append(
+            ShardComparison(
+                label=label,
+                node_count=spec.node_count,
+                shards=traffic.shard_count,
+                sync_time=sync_result.completion_time,
+                sync_wall=sync_wall,
+                sync_messages=sync_result.stats.total_messages,
+                sharded_time=sharded_result.completion_time,
+                sharded_wall=sharded_wall,
+                sharded_messages=sharded_result.stats.total_messages,
+                cross_shard_messages=traffic.cross_shard_messages,
+                cut_ratio=traffic.cut_ratio,
+                messages_by_shard=dict(traffic.messages_by_shard),
+                parity=parity,
+            )
+        )
+    return comparisons
+
+
+def shard_main(
+    records_per_node: int = 3,
+    shards: int = 4,
+    sizes: Sequence[int] = (127, 511),
+) -> str:
+    """Print the sync-vs-sharded sweep table (``run E3 --engine sharded``)."""
+    comparisons = run_shard_scalability(
+        sizes=sizes, shards=shards, records_per_node=records_per_node
+    )
+    rows = [
+        [
+            c.label,
+            c.node_count,
+            c.sync_time,
+            f"{c.sync_wall:.2f}",
+            c.sync_messages,
+            c.sharded_time,
+            f"{c.sharded_wall:.2f}",
+            c.per_shard_column,
+            c.cross_shard_messages,
+            f"{c.cut_ratio:.3f}",
+            c.parity,
+        ]
+        for c in comparisons
+    ]
+    table = format_table(
+        [
+            "topology",
+            "nodes",
+            "sync time",
+            "sync wall s",
+            "sync msgs",
+            "sharded time",
+            "sharded wall s",
+            "msgs/shard",
+            "cross-shard",
+            "cut ratio",
+            "parity",
+        ],
+        rows,
+        title=(
+            f"E3 — sync vs sharded update ({shards} shards, "
+            f"{records_per_node} records/node, discovery skipped)"
+        ),
+    )
+    print(table)
+    return table
 
 
 def main(records_per_node: int = 50, strategy: str = "distributed") -> str:

@@ -1,0 +1,30 @@
+"""Sharded execution: partition the network, run one worker per shard.
+
+The paper's experiments stop at 31 peers; this subsystem is the scaling
+layer that pushes the same protocols toward thousands.  Three pieces:
+
+* :class:`~repro.sharding.planner.ShardPlanner` — partitions peers across K
+  shards by greedily cutting the coordination-rule import graph, so chatty
+  neighbours co-locate (:class:`~repro.sharding.planner.ShardPlan` is the
+  resulting assignment; :func:`~repro.sharding.planner.round_robin_plan` the
+  locality-blind baseline),
+* :class:`~repro.sharding.transport.ShardedTransport` — K per-shard event
+  queues with inter-shard mailboxes for cross-cut messages and a
+  distributed-quiescence barrier (per-shard idle + empty mailboxes),
+* :class:`~repro.sharding.engine.ShardedEngine` — the
+  :class:`~repro.api.engine.ExecutionEngine` implementation over that
+  transport, reached like any other engine through
+  ``Session.run(...)`` / ``ScenarioSpec(transport="sharded", shards=K)``.
+"""
+
+from repro.sharding.engine import ShardedEngine
+from repro.sharding.planner import ShardPlan, ShardPlanner, round_robin_plan
+from repro.sharding.transport import ShardedTransport
+
+__all__ = [
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedEngine",
+    "ShardedTransport",
+    "round_robin_plan",
+]

@@ -9,12 +9,18 @@ a super-peer that can collect or reset those statistics.  This package is the
 library counterpart used by every experiment.
 """
 
-from repro.stats.collector import MessageStats, NodeStats, StatisticsCollector
+from repro.stats.collector import (
+    MessageStats,
+    NodeStats,
+    ShardTrafficStats,
+    StatisticsCollector,
+)
 from repro.stats.report import format_table, series_summary
 
 __all__ = [
     "MessageStats",
     "NodeStats",
+    "ShardTrafficStats",
     "StatisticsCollector",
     "format_table",
     "series_summary",

@@ -39,6 +39,13 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "sound" in result.stdout and "True" in result.stdout
 
+    def test_sharded_network(self):
+        result = run_example("sharded_network.py", "3")
+        assert result.returncode == 0, result.stderr
+        assert "3 shards" in result.stdout
+        assert "cross-shard" in result.stdout
+        assert "same fix-point: True" in result.stdout
+
     def test_async_network(self):
         result = run_example("async_network.py")
         assert result.returncode == 0, result.stderr

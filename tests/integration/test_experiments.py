@@ -10,7 +10,7 @@ from repro.experiments.message_accounting import run_message_accounting
 from repro.experiments.paper_example import main as paper_example_main
 from repro.experiments.paper_example import run_paper_example
 from repro.experiments.runner import run_dblp_update
-from repro.experiments.scalability import run_scalability
+from repro.experiments.scalability import run_scalability, run_shard_scalability
 from repro.experiments.trace_example import run_trace_example
 from repro.workloads.topologies import clique_topology, tree_topology
 
@@ -81,6 +81,22 @@ class TestE3Scalability:
         assert all(r.all_closed for r in results)
 
 
+class TestE3ShardSweep:
+    def test_sync_and_sharded_agree_at_reduced_scale(self):
+        comparisons = run_shard_scalability(
+            sizes=(15,), shards=2, records_per_node=3
+        )
+        assert len(comparisons) == 2  # one tree + one layered DAG
+        for comparison in comparisons:
+            assert comparison.parity
+            assert comparison.shards == 2
+            assert comparison.sharded_messages > 0
+            assert sum(comparison.messages_by_shard.values()) == (
+                comparison.sharded_messages
+            )
+            assert 0.0 <= comparison.cut_ratio <= 1.0
+
+
 class TestE4DepthLinearity:
     def test_time_grows_linearly_with_depth(self):
         series = run_depth_linearity(depths=(1, 2, 3, 4), records_per_node=6)
@@ -105,6 +121,45 @@ class TestE6MessageAccounting:
         result = run_message_accounting(clique_size=4, records_per_node=6)
         assert result.per_path.duplicate_queries > result.once.duplicate_queries
         assert result.per_path.total_messages > result.once.total_messages
+
+
+class TestStrategyThreading:
+    """--strategy flows through E4/E5/E6 exactly as it does through E3."""
+
+    def test_depth_linearity_reference_matches_distributed_tuples(self):
+        distributed = run_depth_linearity(depths=(1, 2), records_per_node=5)
+        reference = run_depth_linearity(
+            depths=(1, 2), records_per_node=5, strategy="centralized"
+        )
+        for family in distributed:
+            for dist_run, ref_run in zip(
+                distributed[family].results, reference[family].results
+            ):
+                assert dist_run.tuples_inserted == ref_run.tuples_inserted
+                assert ref_run.strategy == "centralized"
+
+    def test_data_distribution_skips_inapplicable_strategy(self, capsys):
+        comparisons = run_data_distribution(
+            specs=[clique_topology(3)], records_per_node=4, strategy="acyclic"
+        )
+        assert comparisons == []
+        assert "skipping" in capsys.readouterr().out
+
+    def test_message_accounting_reference_column(self):
+        result = run_message_accounting(
+            clique_size=3, records_per_node=4, strategy="centralized"
+        )
+        assert result.reference is not None
+        assert result.reference.strategy == "centralized"
+        assert (
+            result.reference.tuples_inserted == result.once.tuples_inserted
+        )
+
+    def test_message_accounting_acyclic_on_clique_leaves_column_empty(self):
+        result = run_message_accounting(
+            clique_size=3, records_per_node=4, strategy="acyclic"
+        )
+        assert result.reference is None
 
 
 class TestE9BaselineComparison:

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, list_experiments, main
+from repro.cli import _parse_sizes, build_parser, list_experiments, main
+from repro.errors import ReproError
 
 
 class TestParser:
@@ -28,6 +29,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_engine_and_shard_flags(self):
+        args = build_parser().parse_args(
+            ["run", "E3", "--engine", "sharded", "--shards", "8", "--sizes", "63"]
+        )
+        assert args.engine == "sharded"
+        assert args.shards == 8
+        assert args.sizes == "63"
+        assert args.shard_records == 3
+
+    def test_engine_defaults_to_sync(self):
+        args = build_parser().parse_args(["run", "E3"])
+        assert args.engine == "sync"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E3", "--engine", "warp"])
+
+    def test_parse_sizes(self):
+        assert _parse_sizes("127,511") == (127, 511)
+        assert _parse_sizes("63") == (63,)
+        with pytest.raises(ReproError):
+            _parse_sizes("63,oops")
+        with pytest.raises(ReproError):
+            _parse_sizes("")
+
 
 class TestExecution:
     def test_list_prints_all_ten_experiments(self, capsys):
@@ -51,3 +77,25 @@ class TestExecution:
         assert main(["run", "E2", "--limit", "5"]) == 0
         out = capsys.readouterr().out
         assert "request_nodes" in out
+
+    def test_main_runs_the_sharded_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "E3",
+                    "--engine",
+                    "sharded",
+                    "--shards",
+                    "2",
+                    "--sizes",
+                    "7",
+                    "--shard-records",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sync vs sharded" in out
+        assert "cross-shard" in out
