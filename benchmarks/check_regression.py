@@ -1,0 +1,139 @@
+"""Gate a pytest-benchmark JSON run against the checked-in baseline.
+
+Usage (what the CI ``bench-smoke`` job runs)::
+
+    python benchmarks/check_regression.py results.json benchmarks/baseline.json
+
+Exit code 1 when any benchmark's mean runtime exceeds ``threshold`` times its
+baseline mean (default 2.0 — generous on purpose: CI runners are noisy and
+the gate is for order-of-magnitude regressions, not micro-variance).
+Benchmarks new since the baseline are reported but never fail the gate;
+refresh the baseline with::
+
+    python benchmarks/check_regression.py results.json benchmarks/baseline.json --update
+
+The baseline file stores only what the gate needs (name -> mean seconds),
+so its diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(results_path: Path) -> dict[str, float]:
+    """``fullname -> stats.mean`` from a pytest-benchmark ``--benchmark-json`` file."""
+    document = json.loads(results_path.read_text(encoding="utf-8"))
+    means = {}
+    for bench in document.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        mean = bench.get("stats", {}).get("mean")
+        if name and mean is not None:
+            means[name] = mean
+    return means
+
+
+def load_baseline(baseline_path: Path) -> dict[str, float]:
+    """The checked-in ``{"benchmarks": {name: mean_seconds}}`` baseline."""
+    document = json.loads(baseline_path.read_text(encoding="utf-8"))
+    return {name: float(mean) for name, mean in document.get("benchmarks", {}).items()}
+
+
+def write_baseline(baseline_path: Path, means: dict[str, float]) -> None:
+    document = {
+        "format": "repro-bench-baseline/1",
+        "threshold_note": "CI fails when mean > threshold * baseline mean",
+        "benchmarks": {name: round(mean, 6) for name, mean in sorted(means.items())},
+    }
+    baseline_path.write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def compare(
+    means: dict[str, float], baseline: dict[str, float], threshold: float
+) -> int:
+    """Print the comparison table; return the number of failures.
+
+    Benchmarks new since the baseline never fail (they just are not gated
+    yet), but baseline entries missing from the run do: a renamed or
+    no-longer-collected benchmark must not silently lose its regression
+    gate — refresh the baseline with ``--update`` when the removal is
+    intentional.
+    """
+    failures = 0
+    width = max((len(name) for name in means), default=10)
+    for name, mean in sorted(means.items()):
+        reference = baseline.get(name)
+        if reference is None:
+            print(f"NEW      {name:<{width}} {mean * 1000:9.2f} ms (no baseline)")
+            continue
+        ratio = mean / reference if reference > 0 else float("inf")
+        status = "OK"
+        if ratio > threshold:
+            status = "REGRESSED"
+            failures += 1
+        print(
+            f"{status:<8} {name:<{width}} {mean * 1000:9.2f} ms "
+            f"vs {reference * 1000:9.2f} ms ({ratio:5.2f}x)"
+        )
+    for name in sorted(set(baseline) - set(means)):
+        print(f"MISSING  {name} (in baseline, not in this run)")
+        failures += 1
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument("baseline", type=Path, help="checked-in baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when mean > threshold * baseline mean (default 2.0)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    means = load_means(args.results)
+    if not means:
+        print(f"error: no benchmarks found in {args.results}", file=sys.stderr)
+        return 2
+    if args.update:
+        write_baseline(args.baseline, means)
+        print(f"baseline updated: {args.baseline} ({len(means)} benchmarks)")
+        return 0
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = load_baseline(args.baseline)
+    if not set(means) & set(baseline):
+        # A gate that compares nothing is no gate: renamed benchmarks or a
+        # stale baseline must fail loudly, not pass vacuously.
+        print(
+            "error: no benchmark in this run matches the baseline; "
+            "refresh it with --update",
+            file=sys.stderr,
+        )
+        return 2
+    failures = compare(means, baseline, args.threshold)
+    if failures:
+        print(
+            f"\n{failures} benchmark(s) regressed beyond {args.threshold}x "
+            "the baseline (or went missing from the run)"
+        )
+        return 1
+    print(f"\nall benchmarks within {args.threshold}x of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

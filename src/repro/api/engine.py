@@ -153,6 +153,7 @@ def engine_for(transport: BaseTransport) -> ExecutionEngine:
     # Imported lazily: repro.sharding imports this module for the phase
     # helpers, so a top-level import would be circular.
     from repro.sharding.engine import ShardedEngine
+    from repro.sharding.multiproc import MultiprocEngine, MultiprocTransport
     from repro.sharding.transport import ShardedTransport
 
     if isinstance(transport, SyncTransport):
@@ -161,6 +162,8 @@ def engine_for(transport: BaseTransport) -> ExecutionEngine:
         return AsyncEngine()
     if isinstance(transport, ShardedTransport):
         return ShardedEngine()
+    if isinstance(transport, MultiprocTransport):
+        return MultiprocEngine()
     raise ReproError(
         f"no execution engine for transport {type(transport).__name__!r}"
     )

@@ -103,9 +103,11 @@ class ScenarioSpec:
     strategy: str = "distributed"
     max_messages: int = 1_000_000
     name: str = "scenario"
-    #: Shard count for the sharded transport.  Setting it on a spec whose
-    #: transport is the default ``"sync"`` selects ``"sharded"`` implicitly,
-    #: so ``spec.with_(shards=4)`` is the whole knob.
+    #: Shard count for the partitioned transports (``"sharded"`` runs the
+    #: shards as asyncio tasks in-process, ``"multiproc"`` as one OS process
+    #: each).  Setting it on a spec whose transport is the default ``"sync"``
+    #: selects ``"sharded"`` implicitly, so ``spec.with_(shards=4)`` is the
+    #: whole knob; pair it with ``transport="multiproc"`` for real processes.
     shards: int | None = None
 
     @classmethod
@@ -178,7 +180,7 @@ class ScenarioSpec:
         if isinstance(self.transport, BaseTransport):
             raise ReproError(
                 "cannot dump a spec holding a transport instance; "
-                "use transport='sync'/'async'/'sharded'"
+                "use transport='sync'/'async'/'sharded'/'multiproc'"
             )
         document = {
             "format": _SPEC_FORMAT,
@@ -306,11 +308,11 @@ class ScenarioSpec:
         if self.shards is not None:
             if transport == "sync":
                 transport = "sharded"
-            elif transport != "sharded":
+            elif transport not in ("sharded", "multiproc"):
                 raise ReproError(
-                    f"shards={self.shards} needs the sharded transport, but the "
+                    f"shards={self.shards} needs a partitioned transport, but the "
                     f"spec selects {transport if isinstance(transport, str) else type(transport).__name__!r}; "
-                    "drop the shards setting or use transport='sharded'"
+                    "drop the shards setting or use transport='sharded'/'multiproc'"
                 )
         return P2PSystem.build(
             self.schemas,
@@ -369,12 +371,17 @@ class NetworkBuilder:
         return self
 
     def transport(self, kind: str | BaseTransport) -> "NetworkBuilder":
-        """Select the transport: ``"sync"``, ``"async"``, ``"sharded"`` or an instance."""
+        """Select the transport: ``"sync"``, ``"async"``, ``"sharded"``,
+        ``"multiproc"`` or an instance."""
         self._settings["transport"] = kind
         return self
 
     def shards(self, count: int) -> "NetworkBuilder":
-        """Run over the sharded transport with ``count`` shards."""
+        """Run over a partitioned transport with ``count`` shards.
+
+        Defaults to the in-process ``"sharded"`` transport; combine with
+        ``.transport("multiproc")`` for one worker process per shard.
+        """
         self._settings["shards"] = count
         return self
 

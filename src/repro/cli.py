@@ -58,8 +58,9 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
                 records_per_node=getattr(args, "shard_records", 3),
                 shards=getattr(args, "shards", 4),
                 sizes=_parse_sizes(getattr(args, "sizes", "127,511")),
+                engine=getattr(args, "engine", "sharded"),
             )
-            if getattr(args, "engine", "sync") == "sharded"
+            if getattr(args, "engine", "sync") in ("sharded", "multiproc")
             else scalability.main(
                 records_per_node=args.records,
                 strategy=getattr(args, "strategy", "distributed"),
@@ -142,23 +143,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--engine",
-        choices=("sync", "sharded"),
+        choices=("sync", "sharded", "multiproc"),
         default="sync",
         help=(
             "execution engine for E3: 'sharded' runs the large sync-vs-sharded "
-            "sweep instead of the paper-sized one (default sync)"
+            "sweep instead of the paper-sized one; 'multiproc' additionally "
+            "runs the one-process-per-shard engine (default sync)"
         ),
     )
     run_parser.add_argument(
         "--shards",
         type=int,
         default=4,
-        help="shard count for --engine sharded (default 4)",
+        help="shard count for --engine sharded/multiproc (default 4)",
     )
     run_parser.add_argument(
         "--sizes",
         default="127,511",
-        help="comma-separated node counts for --engine sharded (default 127,511)",
+        help=(
+            "comma-separated node counts for --engine sharded/multiproc "
+            "(default 127,511)"
+        ),
     )
     run_parser.add_argument(
         "--shard-records",
@@ -210,15 +215,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"note: {args.experiment} always runs the distributed protocol; "
                 f"--strategy {args.strategy} applies to E3-E6"
             )
-        if args.engine == "sharded" and args.experiment != "E3":
+        if args.engine != "sync" and args.experiment != "E3":
             print(
-                f"note: --engine sharded selects the E3 sharded sweep; "
+                f"note: --engine {args.engine} selects the E3 engine sweep; "
                 f"{args.experiment} runs its usual configuration"
             )
-        if args.engine == "sharded" and args.strategy != "distributed":
+        if args.engine != "sync" and args.strategy != "distributed":
             print(
-                "note: the sharded sweep always runs the distributed protocol; "
-                f"--strategy {args.strategy} is ignored with --engine sharded"
+                "note: the engine sweep always runs the distributed protocol; "
+                f"--strategy {args.strategy} is ignored with --engine {args.engine}"
             )
         _description, run = _EXPERIMENTS[args.experiment]
         try:

@@ -70,10 +70,10 @@ class P2PSystem:
         """Build a system from per-node schemas, rules and initial data.
 
         ``transport`` is either an existing transport instance or the string
-        ``"sync"`` / ``"async"`` / ``"sharded"``; ``shards`` sets the shard
-        count of the sharded transport (default 2, ignored otherwise);
-        ``propagation`` selects the query propagation policy of every node
-        (see :mod:`repro.core.update`).
+        ``"sync"`` / ``"async"`` / ``"sharded"`` / ``"multiproc"``; ``shards``
+        sets the shard count of the partitioned transports (default 2, ignored
+        otherwise); ``propagation`` selects the query propagation policy of
+        every node (see :mod:`repro.core.update`).
         """
         if isinstance(transport, BaseTransport):
             transport_obj = transport
@@ -85,6 +85,14 @@ class P2PSystem:
             from repro.sharding.transport import ShardedTransport
 
             transport_obj = ShardedTransport(
+                shard_count=shards if shards is not None else 2,
+                latency=latency,
+                max_messages=max_messages,
+            )
+        elif transport == "multiproc":
+            from repro.sharding.multiproc import MultiprocTransport
+
+            transport_obj = MultiprocTransport(
                 shard_count=shards if shards is not None else 2,
                 latency=latency,
                 max_messages=max_messages,

@@ -108,17 +108,24 @@ def run_scalability(
 
 # ------------------------------------------------------- the sharded extension
 #
-# The paper stopped at 31 peers; the sharded engine pushes the same update
+# The paper stopped at 31 peers; the partitioned engines push the same update
 # protocol to hundreds or thousands.  This sweep compares the single-queue
-# SyncEngine with the partitioned ShardedEngine on large trees and layered
-# DAGs.  Topology discovery is skipped at these sizes (the update phase does
-# not depend on it, and maximal-path enumeration on dense layered graphs is
-# exactly the blow-up the paper's complexity section predicts).
+# SyncEngine with the in-process ShardedEngine — and, optionally, the
+# one-OS-process-per-shard MultiprocEngine, the only configuration whose
+# wall-clock can beat the GIL on multi-core hardware.  Topology discovery is
+# skipped at these sizes (the update phase does not depend on it, and
+# maximal-path enumeration on dense layered graphs is exactly the blow-up the
+# paper's complexity section predicts).
 
 
 @dataclass(frozen=True)
 class ShardComparison:
-    """One topology run under both engines, plus the shard traffic view."""
+    """One topology run under both engines, plus the shard traffic view.
+
+    The ``multiproc_*`` columns are filled only when the sweep was asked to
+    include the multi-process engine (``include_multiproc=True`` /
+    ``run E3 --engine multiproc``).
+    """
 
     label: str
     node_count: int
@@ -133,6 +140,12 @@ class ShardComparison:
     cut_ratio: float
     messages_by_shard: dict[int, int]
     parity: bool
+    multiproc_time: float | None = None
+    multiproc_wall: float | None = None
+    multiproc_messages: int | None = None
+    multiproc_cross_shard: int | None = None
+    multiproc_cut_ratio: float | None = None
+    multiproc_parity: bool | None = None
 
     @property
     def per_shard_column(self) -> str:
@@ -177,14 +190,19 @@ def run_shard_scalability(
     max_imports: int = 2,
     seed: int = 0,
     check_parity: bool = True,
+    include_multiproc: bool = False,
 ) -> list[ShardComparison]:
-    """Run the global update under the sync and the sharded engine side by side.
+    """Run the global update under the sync and the partitioned engines side by side.
 
-    Reports, per topology: simulated completion time and wall-clock for both
-    engines, per-shard delivery counts, and the cross-shard (cut) traffic the
-    planner could not avoid.  ``check_parity`` additionally compares the two
-    final ground states (the Lemma 1 guarantee, now at scale).
+    Reports, per topology: simulated completion time and wall-clock for each
+    engine, per-shard delivery counts, and the cross-shard (cut) traffic the
+    planner could not avoid.  ``check_parity`` additionally compares the
+    final ground states (the Lemma 1 guarantee, now at scale);
+    ``include_multiproc`` adds a third run under the one-process-per-shard
+    :class:`~repro.sharding.multiproc.MultiprocEngine`.
     """
+    from repro.core.fixpoint import ground_part
+
     comparisons: list[ShardComparison] = []
     for spec in shard_sweep_specs(sizes, max_imports=max_imports, seed=seed):
         scenario = ScenarioSpec.from_topology(
@@ -207,12 +225,35 @@ def run_shard_scalability(
         traffic = sharded_result.stats.sharding
         assert traffic is not None  # the sharded engine always attaches it
         parity = True
+        sync_ground = ground_part(sync_session.databases()) if check_parity else None
         if check_parity:
-            from repro.core.fixpoint import ground_part
+            parity = sync_ground == ground_part(sharded_session.databases())
 
-            parity = ground_part(sync_session.databases()) == ground_part(
-                sharded_session.databases()
+        multiproc_columns: dict = {}
+        if include_multiproc:
+            started = time.perf_counter()
+            multiproc_session = Session.from_spec(
+                scenario.with_(transport="multiproc", shards=shards),
+                capture_deltas=False,
             )
+            multiproc_result = multiproc_session.run("update")
+            multiproc_wall = time.perf_counter() - started
+            multiproc_traffic = multiproc_result.stats.sharding
+            assert multiproc_traffic is not None
+            multiproc_parity = True
+            if check_parity:
+                multiproc_parity = sync_ground == ground_part(
+                    multiproc_session.databases()
+                )
+            multiproc_columns = dict(
+                multiproc_time=multiproc_result.completion_time,
+                multiproc_wall=multiproc_wall,
+                multiproc_messages=multiproc_result.stats.total_messages,
+                multiproc_cross_shard=multiproc_traffic.cross_shard_messages,
+                multiproc_cut_ratio=multiproc_traffic.cut_ratio,
+                multiproc_parity=multiproc_parity,
+            )
+
         comparisons.append(
             ShardComparison(
                 label=label,
@@ -228,6 +269,7 @@ def run_shard_scalability(
                 cut_ratio=traffic.cut_ratio,
                 messages_by_shard=dict(traffic.messages_by_shard),
                 parity=parity,
+                **multiproc_columns,
             )
         )
     return comparisons
@@ -237,13 +279,37 @@ def shard_main(
     records_per_node: int = 3,
     shards: int = 4,
     sizes: Sequence[int] = (127, 511),
+    engine: str = "sharded",
 ) -> str:
-    """Print the sync-vs-sharded sweep table (``run E3 --engine sharded``)."""
+    """Print the engine-comparison sweep table.
+
+    ``run E3 --engine sharded`` compares sync vs the in-process sharded
+    engine; ``run E3 --engine multiproc`` adds the one-process-per-shard
+    engine as a third column group.
+    """
+    include_multiproc = engine == "multiproc"
     comparisons = run_shard_scalability(
-        sizes=sizes, shards=shards, records_per_node=records_per_node
+        sizes=sizes,
+        shards=shards,
+        records_per_node=records_per_node,
+        include_multiproc=include_multiproc,
     )
-    rows = [
-        [
+    headers = [
+        "topology",
+        "nodes",
+        "sync time",
+        "sync wall s",
+        "sync msgs",
+        "sharded time",
+        "sharded wall s",
+        "msgs/shard",
+        "cross-shard",
+        "cut ratio",
+        "parity",
+    ]
+    rows = []
+    for c in comparisons:
+        row = [
             c.label,
             c.node_count,
             c.sync_time,
@@ -256,25 +322,29 @@ def shard_main(
             f"{c.cut_ratio:.3f}",
             c.parity,
         ]
-        for c in comparisons
-    ]
+        if include_multiproc:
+            row += [
+                c.multiproc_time,
+                f"{c.multiproc_wall:.2f}",
+                c.multiproc_cross_shard,
+                f"{c.multiproc_cut_ratio:.3f}",
+                c.multiproc_parity,
+            ]
+        rows.append(row)
+    if include_multiproc:
+        headers += [
+            "mp time",
+            "mp wall s",
+            "mp cross-shard",
+            "mp cut ratio",
+            "mp parity",
+        ]
+    engines = "sync vs sharded vs multiproc" if include_multiproc else "sync vs sharded"
     table = format_table(
-        [
-            "topology",
-            "nodes",
-            "sync time",
-            "sync wall s",
-            "sync msgs",
-            "sharded time",
-            "sharded wall s",
-            "msgs/shard",
-            "cross-shard",
-            "cut ratio",
-            "parity",
-        ],
+        headers,
         rows,
         title=(
-            f"E3 — sync vs sharded update ({shards} shards, "
+            f"E3 — {engines} update ({shards} shards, "
             f"{records_per_node} records/node, discovery skipped)"
         ),
     )

@@ -14,14 +14,23 @@ layer that pushes the same protocols toward thousands.  Three pieces:
 * :class:`~repro.sharding.engine.ShardedEngine` — the
   :class:`~repro.api.engine.ExecutionEngine` implementation over that
   transport, reached like any other engine through
-  ``Session.run(...)`` / ``ScenarioSpec(transport="sharded", shards=K)``.
+  ``Session.run(...)`` / ``ScenarioSpec(transport="sharded", shards=K)``,
+* :class:`~repro.sharding.multiproc.MultiprocTransport` /
+  :class:`~repro.sharding.multiproc.MultiprocEngine` — the same shard
+  boundary with one OS *process* per shard (``multiprocessing`` spawn,
+  queue-backed mailboxes, a cross-process quiescence barrier), selected via
+  ``ScenarioSpec(transport="multiproc", shards=K)`` — the first engine with
+  real multi-core wall-clock speedups on the 500+-node sweeps.
 """
 
 from repro.sharding.engine import ShardedEngine
+from repro.sharding.multiproc import MultiprocEngine, MultiprocTransport
 from repro.sharding.planner import ShardPlan, ShardPlanner, round_robin_plan
 from repro.sharding.transport import ShardedTransport
 
 __all__ = [
+    "MultiprocEngine",
+    "MultiprocTransport",
     "ShardPlan",
     "ShardPlanner",
     "ShardedEngine",

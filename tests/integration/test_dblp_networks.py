@@ -82,8 +82,10 @@ class TestOtherTopologies:
             assert len(rows) == len(distinct_keys)
         assert all_nodes_closed(network.system)
 
-    @pytest.mark.slow
     def test_tree_of_31_nodes(self):
+        # The paper's headline size; runs in about a second, so it stays in
+        # the default gate (the registered `slow` marker is reserved for the
+        # minutes-to-hours pathological cases excluded via pytest.ini).
         network = run_network(tree_topology(4, 2), records_per_node=15)
         assert all_nodes_closed(network.system)
         report = verify_against_centralized(

@@ -94,6 +94,60 @@ class TestShardPlanner:
             ShardPlanner(0)
 
 
+class TestShardPlannerEdgeCases:
+    """The planner's corner inputs: degenerate graphs and input orderings."""
+
+    def test_single_node_graph(self):
+        plan = ShardPlanner(4).plan(["only"], [])
+        assert plan.shard_count == 1
+        assert plan.shard_of == {"only": 0}
+        assert plan.cut_edges() == ()
+
+    def test_shards_exceed_nodes_with_edges(self):
+        # 2 connected nodes, 16 requested shards: the plan opens exactly 2
+        # and still separates or co-locates without out-of-range shards.
+        plan = ShardPlanner(16).plan(["a", "b"], [("a", "b")])
+        assert plan.shard_count == 2
+        assert set(plan.shard_of) == {"a", "b"}
+        assert all(0 <= shard < 2 for shard in plan.shard_of.values())
+
+    def test_empty_rule_graph_spreads_nodes_evenly(self):
+        # No edges at all (a rule-less network): nothing to cut, so the only
+        # job left is balance — nodes spread across shards instead of piling
+        # into shard 0.
+        nodes = [f"n{i}" for i in range(8)]
+        plan = ShardPlanner(4).plan(nodes, [])
+        assert plan.shard_sizes == (2, 2, 2, 2)
+        assert plan.cut_edges() == ()
+
+    def test_empty_rule_set_via_plan_rules(self):
+        plan = ShardPlanner(2).plan_rules([], nodes=["a", "b", "c"])
+        assert sorted(plan.shard_of) == ["a", "b", "c"]
+        assert plan.cut_edges() == ()
+
+    def test_greedy_partition_ignores_input_ordering(self):
+        # Determinism across runs must not depend on the order nodes and
+        # edges arrive in: the planner sorts internally, so shuffled input
+        # yields the identical assignment.
+        spec = tree_topology(3, 2)
+        reference = ShardPlanner(3).plan(spec.nodes, spec.edges)
+        shuffled_nodes = list(reversed(spec.nodes))
+        shuffled_edges = list(reversed(spec.edges))
+        again = ShardPlanner(3).plan(shuffled_nodes, shuffled_edges)
+        assert again.shard_of == reference.shard_of
+
+    def test_repeated_runs_are_identical(self):
+        spec = clique_topology(6)
+        plans = [ShardPlanner(3).plan_topology(spec) for _ in range(5)]
+        assert all(plan.shard_of == plans[0].shard_of for plan in plans)
+
+    def test_self_loops_and_unknown_endpoints_are_ignored(self):
+        plan = ShardPlanner(2).plan(
+            ["a", "b"], [("a", "a"), ("a", "ghost"), ("a", "b")]
+        )
+        assert set(plan.shard_of) == {"a", "b"}
+
+
 # ----------------------------------------------------------------- transport
 
 
