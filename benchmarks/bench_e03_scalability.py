@@ -113,6 +113,92 @@ def test_bench_engine_scalability(benchmark, size):
         assert comparison.multiproc_cut_ratio < 0.5
 
 
+def test_bench_pooled_warm_update(benchmark):
+    """Warm worker-pool repeat updates on a 63-node tree (2 shards).
+
+    The first pooled run pays the same spawn + world-shipping price as a
+    cold multiproc run (~a second); the benchmark measures the *warm*
+    repeat runs, which ship only deltas over the persistent workers.  The
+    recorded mean therefore tracks the per-run cost that remains after the
+    fixed overhead is amortised — if someone reintroduces per-run spawning
+    or world shipping, this number jumps by an order of magnitude and the
+    regression gate catches it.
+    """
+    import time
+
+    from repro.api.session import Session
+    from repro.api.spec import ScenarioSpec
+
+    spec = ScenarioSpec.from_topology(
+        tree_topology(5, 2), records_per_node=3, seed=0
+    ).with_(transport="pooled", shards=2)
+    session = Session.from_spec(spec, capture_deltas=False)
+    try:
+        started = time.perf_counter()
+        first = session.run("update")  # cold: spawns the pool
+        cold_wall = time.perf_counter() - started
+        assert first.engine == "pooled"
+
+        warm_walls = []
+
+        def warm_run():
+            started = time.perf_counter()
+            result = session.run("update")
+            warm_walls.append(time.perf_counter() - started)
+            return result
+
+        result = benchmark.pedantic(warm_run, rounds=3, iterations=1)
+        warm_mean = sum(warm_walls) / len(warm_walls)
+        benchmark.extra_info.update(
+            nodes=63,
+            shards=2,
+            cold_first_wall=round(cold_wall, 3),
+            warm_mean_wall=round(warm_mean, 3),
+        )
+        assert result.engine == "pooled"
+        # The amortisation claim itself: a warm run must be well under the
+        # cold spawn+ship run (in practice ~10x; 2x keeps CI noise safe).
+        assert warm_mean < cold_wall / 2
+    finally:
+        session.close()
+
+
+@pytest.mark.slow
+def test_bench_pooled_amortization_127(benchmark):
+    """Repeat-run E3 sweep at ~127 nodes: warm pooled vs cold multiproc.
+
+    Three update runs per engine on each 127-node topology.  Every cold
+    multiproc run pays the spawn/ship overhead again; the pool pays it once,
+    so its second-and-later runs must be measurably faster than the cold
+    repeat mean — the acceptance bar of the persistent-pool subsystem.
+    """
+    def run():
+        return run_shard_scalability(
+            sizes=(127,),
+            shards=4,
+            records_per_node=3,
+            check_parity=True,
+            include_pooled=True,
+            repeats=3,
+        )
+
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+    tree = comparisons[0]
+    benchmark.extra_info.update(
+        nodes=tree.node_count,
+        shards=tree.shards,
+        multiproc_repeat_wall=round(tree.multiproc_repeat_wall, 3),
+        pooled_first_wall=round(tree.pooled_first_wall, 3),
+        pooled_warm_wall=round(tree.pooled_warm_wall, 3),
+    )
+    for comparison in comparisons:
+        assert comparison.parity
+        assert comparison.multiproc_parity
+        assert comparison.pooled_parity
+        # Warm runs amortise the ~1-2 s fixed overhead away.
+        assert comparison.pooled_warm_wall < comparison.multiproc_repeat_wall / 2
+
+
 @pytest.mark.parametrize("size", [3, 5, 7, 9])
 def test_bench_clique_scalability(benchmark, size):
     """Global update on cliques of 3-9 nodes (the densest topology)."""

@@ -1,0 +1,80 @@
+"""Fail on broken relative links in the repo's markdown documentation.
+
+Usage (what the CI ``docs-check`` job runs from the repo root)::
+
+    python docs/check_links.py README.md docs
+
+Arguments are markdown files or directories (scanned for ``*.md``).  Every
+inline markdown link ``[text](target)`` whose target is *relative* — not
+``http(s)://``, ``mailto:`` or a pure ``#anchor`` — must resolve to an
+existing file or directory relative to the file containing it (anchors are
+stripped before the check).  Exit code 1 lists every broken link; 0 means
+the docs' internal references are all real.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links; images share the syntax modulo a leading ``!``.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets the checker does not try to resolve on disk.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(arguments: list[str]) -> list[Path]:
+    """Expand file/directory arguments into a sorted list of ``*.md`` files."""
+    files: set[Path] = set()
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.update(path.rglob("*.md"))
+        elif path.exists():
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {argument}")
+    return sorted(files)
+
+
+def relative_targets(text: str):
+    """Yield the relative link targets of one markdown document."""
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        yield target
+
+
+def broken_links(files: list[Path]) -> list[tuple[Path, str]]:
+    """Every (file, target) pair whose target does not resolve."""
+    broken: list[tuple[Path, str]] = []
+    for markdown_file in files:
+        text = markdown_file.read_text(encoding="utf-8")
+        for target in relative_targets(text):
+            resolved = markdown_file.parent / target.split("#", 1)[0]
+            if not resolved.exists():
+                broken.append((markdown_file, target))
+    return broken
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = argv if argv is not None else sys.argv[1:]
+    if not arguments:
+        print("usage: check_links.py <file-or-dir> [...]", file=sys.stderr)
+        return 2
+    files = iter_markdown_files(arguments)
+    broken = broken_links(files)
+    for markdown_file, target in broken:
+        print(f"BROKEN  {markdown_file}: ({target})")
+    print(
+        f"checked {len(files)} markdown file(s): "
+        f"{len(broken)} broken relative link(s)"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,14 @@ This package is the unified execution façade over the substrate in
 * :class:`~repro.api.strategies.UpdateStrategy` and its string-keyed registry
   (``"distributed"``, ``"centralized"``, ``"acyclic"``, ``"querytime"``),
 * :class:`~repro.api.spec.ScenarioSpec` / :class:`~repro.api.spec.NetworkBuilder`
-  — declarative and fluent network construction,
+  — declarative and fluent network construction (JSON format in
+  ``docs/scenarios.md``),
 * :class:`~repro.api.result.RunResult` — the uniform result of every run.
+
+The scaling engines (sharded, multiproc, pooled) live in
+:mod:`repro.sharding` and plug into the same protocol; ``Session`` selects
+them from the spec's ``transport``/``shards``/``pool`` knobs
+(``docs/engines.md`` is the guide).
 """
 
 from repro.api.engine import (

@@ -15,9 +15,12 @@ protocol with two implementations:
 Both expose ``run`` (blocking) and ``run_async`` (awaitable) with identical
 semantics, so :meth:`repro.api.session.Session.run` works identically over
 both transports; :func:`engine_for` picks the right engine for a transport.
-A third implementation, :class:`repro.sharding.engine.ShardedEngine`, drives
-the partitioned :class:`~repro.sharding.transport.ShardedTransport` through
-the same protocol and is selected the same way.
+The scaling layer adds three more implementations behind the same protocol,
+selected the same way: :class:`repro.sharding.engine.ShardedEngine` (K
+in-process shard workers), :class:`repro.sharding.multiproc.MultiprocEngine`
+(one worker OS process per shard, respawned per run) and
+:class:`repro.sharding.pool.PooledEngine` (the same processes kept warm
+across runs).  ``docs/engines.md`` is the decision guide.
 """
 
 from __future__ import annotations
@@ -154,6 +157,7 @@ def engine_for(transport: BaseTransport) -> ExecutionEngine:
     # helpers, so a top-level import would be circular.
     from repro.sharding.engine import ShardedEngine
     from repro.sharding.multiproc import MultiprocEngine, MultiprocTransport
+    from repro.sharding.pool import PooledEngine, PooledTransport
     from repro.sharding.transport import ShardedTransport
 
     if isinstance(transport, SyncTransport):
@@ -162,6 +166,9 @@ def engine_for(transport: BaseTransport) -> ExecutionEngine:
         return AsyncEngine()
     if isinstance(transport, ShardedTransport):
         return ShardedEngine()
+    # PooledTransport subclasses MultiprocTransport, so it must match first.
+    if isinstance(transport, PooledTransport):
+        return PooledEngine()
     if isinstance(transport, MultiprocTransport):
         return MultiprocEngine()
     raise ReproError(

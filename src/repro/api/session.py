@@ -16,7 +16,12 @@ exposes the library's operations uniformly:
 
 Sessions are built from a declarative :class:`~repro.api.spec.ScenarioSpec`
 (:meth:`Session.from_spec`), from loose parts (:meth:`Session.build`) or
-around an existing system (:meth:`Session.of`).
+around an existing system (:meth:`Session.of`).  A session also owns its
+engine's resources: the pooled multiproc engine keeps worker OS processes
+warm across runs, so use the session as a context manager (or call
+:meth:`Session.close`) to stop them deterministically.  The layer map and
+the run-time data flow are documented in ``docs/architecture.md``; the
+engine selection guide in ``docs/engines.md``.
 """
 
 from __future__ import annotations
@@ -118,6 +123,26 @@ class Session:
     def of(cls, system, **kwargs) -> "Session":
         """Open a session around an already-assembled system."""
         return cls(system, **kwargs)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release engine-held resources (idempotent).
+
+        Most engines hold none and this is a no-op; the pooled multiproc
+        engine keeps worker OS processes warm between runs and stops them
+        here.  A closed session can keep running — the next pooled run just
+        respawns its workers cold.
+        """
+        close_engine = getattr(self.engine, "close", None)
+        if callable(close_engine):
+            close_engine()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ state
 

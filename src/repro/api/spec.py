@@ -109,6 +109,11 @@ class ScenarioSpec:
     #: selects ``"sharded"`` implicitly, so ``spec.with_(shards=4)`` is the
     #: whole knob; pair it with ``transport="multiproc"`` for real processes.
     shards: int | None = None
+    #: With ``transport="multiproc"``, keep the shard worker processes alive
+    #: between runs (the persistent :class:`~repro.sharding.pool.WorkerPool`:
+    #: spawn once, ship the worlds once, re-ship only deltas).  Equivalent to
+    #: ``transport="pooled"``; ignored by the other transports.
+    pool: bool = False
 
     @classmethod
     def of(
@@ -180,7 +185,7 @@ class ScenarioSpec:
         if isinstance(self.transport, BaseTransport):
             raise ReproError(
                 "cannot dump a spec holding a transport instance; "
-                "use transport='sync'/'async'/'sharded'/'multiproc'"
+                "use transport='sync'/'async'/'sharded'/'multiproc'/'pooled'"
             )
         document = {
             "format": _SPEC_FORMAT,
@@ -192,6 +197,7 @@ class ScenarioSpec:
             "strategy": self.strategy,
             "max_messages": self.max_messages,
             "shards": self.shards,
+            "pool": self.pool,
             "schemas": {
                 node: [
                     {
@@ -272,6 +278,7 @@ class ScenarioSpec:
             max_messages=document.get("max_messages", 1_000_000),
             name=document.get("name", "scenario"),
             shards=document.get("shards"),
+            pool=document.get("pool", False),
         )
 
     @property
@@ -308,11 +315,22 @@ class ScenarioSpec:
         if self.shards is not None:
             if transport == "sync":
                 transport = "sharded"
-            elif transport not in ("sharded", "multiproc"):
+            elif transport not in ("sharded", "multiproc", "pooled"):
                 raise ReproError(
                     f"shards={self.shards} needs a partitioned transport, but the "
                     f"spec selects {transport if isinstance(transport, str) else type(transport).__name__!r}; "
-                    "drop the shards setting or use transport='sharded'/'multiproc'"
+                    "drop the shards setting or use transport='sharded'/'multiproc'/'pooled'"
+                )
+        if self.pool and transport not in ("multiproc", "pooled"):
+            from repro.sharding.multiproc import MultiprocTransport
+
+            # A live MultiprocTransport (or its pooled subclass) instance
+            # already satisfies the flag; everything else cannot pool.
+            if not isinstance(transport, MultiprocTransport):
+                raise ReproError(
+                    f"pool=True needs the multiproc transport, but the spec selects "
+                    f"{transport if isinstance(transport, str) else type(transport).__name__!r}; "
+                    "use transport='multiproc' (or 'pooled') with the pool flag"
                 )
         return P2PSystem.build(
             self.schemas,
@@ -324,6 +342,7 @@ class ScenarioSpec:
             super_peer=self.super_peer,
             max_messages=self.max_messages,
             shards=self.shards,
+            pool=self.pool,
         )
 
 
@@ -372,7 +391,7 @@ class NetworkBuilder:
 
     def transport(self, kind: str | BaseTransport) -> "NetworkBuilder":
         """Select the transport: ``"sync"``, ``"async"``, ``"sharded"``,
-        ``"multiproc"`` or an instance."""
+        ``"multiproc"``, ``"pooled"`` or an instance."""
         self._settings["transport"] = kind
         return self
 
@@ -380,9 +399,24 @@ class NetworkBuilder:
         """Run over a partitioned transport with ``count`` shards.
 
         Defaults to the in-process ``"sharded"`` transport; combine with
-        ``.transport("multiproc")`` for one worker process per shard.
+        ``.transport("multiproc")`` for one worker process per shard, or
+        call :meth:`pooled` to keep those processes warm between runs.
         """
         self._settings["shards"] = count
+        return self
+
+    def pooled(self, shards: int | None = None) -> "NetworkBuilder":
+        """Run over the persistent multi-process worker pool.
+
+        One worker OS process per shard, spawned on the session's first run
+        and kept warm for every later one (only data/rule deltas are
+        re-shipped).  ``shards`` optionally sets the shard count in the same
+        call; close the session (``session.close()`` or a ``with`` block) to
+        stop the workers.
+        """
+        self._settings["transport"] = "pooled"
+        if shards is not None:
+            self._settings["shards"] = shards
         return self
 
     def propagation(self, policy: str) -> "NetworkBuilder":

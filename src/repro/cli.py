@@ -59,8 +59,9 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
                 shards=getattr(args, "shards", 4),
                 sizes=_parse_sizes(getattr(args, "sizes", "127,511")),
                 engine=getattr(args, "engine", "sharded"),
+                repeats=getattr(args, "repeats", 3),
             )
-            if getattr(args, "engine", "sync") in ("sharded", "multiproc")
+            if getattr(args, "engine", "sync") in ("sharded", "multiproc", "pooled")
             else scalability.main(
                 records_per_node=args.records,
                 strategy=getattr(args, "strategy", "distributed"),
@@ -143,12 +144,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--engine",
-        choices=("sync", "sharded", "multiproc"),
+        choices=("sync", "sharded", "multiproc", "pooled"),
         default="sync",
         help=(
             "execution engine for E3: 'sharded' runs the large sync-vs-sharded "
             "sweep instead of the paper-sized one; 'multiproc' additionally "
-            "runs the one-process-per-shard engine (default sync)"
+            "runs the one-process-per-shard engine; 'pooled' adds the "
+            "repeat-run comparison against a persistent worker pool "
+            "(default sync)"
+        ),
+    )
+    run_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help=(
+            "update runs per engine for --engine pooled: the cold multiproc "
+            "engine pays spawn/ship on each, the warm pool only on the first "
+            "(default 3)"
         ),
     )
     run_parser.add_argument(

@@ -66,14 +66,17 @@ class P2PSystem:
         super_peer: NodeId | None = None,
         max_messages: int = 1_000_000,
         shards: int | None = None,
+        pool: bool = False,
     ) -> "P2PSystem":
         """Build a system from per-node schemas, rules and initial data.
 
         ``transport`` is either an existing transport instance or the string
-        ``"sync"`` / ``"async"`` / ``"sharded"`` / ``"multiproc"``; ``shards``
-        sets the shard count of the partitioned transports (default 2, ignored
-        otherwise); ``propagation`` selects the query propagation policy of
-        every node (see :mod:`repro.core.update`).
+        ``"sync"`` / ``"async"`` / ``"sharded"`` / ``"multiproc"`` /
+        ``"pooled"``; ``shards`` sets the shard count of the partitioned
+        transports (default 2, ignored otherwise); ``pool=True`` upgrades the
+        ``"multiproc"`` transport to the persistent worker pool (equivalent
+        to ``transport="pooled"``); ``propagation`` selects the query
+        propagation policy of every node (see :mod:`repro.core.update`).
         """
         if isinstance(transport, BaseTransport):
             transport_obj = transport
@@ -89,10 +92,16 @@ class P2PSystem:
                 latency=latency,
                 max_messages=max_messages,
             )
-        elif transport == "multiproc":
+        elif transport in ("multiproc", "pooled"):
             from repro.sharding.multiproc import MultiprocTransport
+            from repro.sharding.pool import PooledTransport
 
-            transport_obj = MultiprocTransport(
+            transport_cls = (
+                PooledTransport
+                if pool or transport == "pooled"
+                else MultiprocTransport
+            )
+            transport_obj = transport_cls(
                 shard_count=shards if shards is not None else 2,
                 latency=latency,
                 max_messages=max_messages,

@@ -124,7 +124,12 @@ class ShardComparison:
 
     The ``multiproc_*`` columns are filled only when the sweep was asked to
     include the multi-process engine (``include_multiproc=True`` /
-    ``run E3 --engine multiproc``).
+    ``run E3 --engine multiproc``); the ``pooled_*`` columns only for the
+    repeat-run pooled sweep (``include_pooled=True`` /
+    ``run E3 --engine pooled``), where ``multiproc_repeat_wall`` is the mean
+    wall-clock of *cold* multiproc runs (spawn + world ship every time) and
+    ``pooled_warm_wall`` the mean of the warm pool's second-and-later runs —
+    their gap is the amortised fixed overhead.
     """
 
     label: str
@@ -146,6 +151,10 @@ class ShardComparison:
     multiproc_cross_shard: int | None = None
     multiproc_cut_ratio: float | None = None
     multiproc_parity: bool | None = None
+    multiproc_repeat_wall: float | None = None
+    pooled_first_wall: float | None = None
+    pooled_warm_wall: float | None = None
+    pooled_parity: bool | None = None
 
     @property
     def per_shard_column(self) -> str:
@@ -191,6 +200,8 @@ def run_shard_scalability(
     seed: int = 0,
     check_parity: bool = True,
     include_multiproc: bool = False,
+    include_pooled: bool = False,
+    repeats: int = 3,
 ) -> list[ShardComparison]:
     """Run the global update under the sync and the partitioned engines side by side.
 
@@ -199,10 +210,19 @@ def run_shard_scalability(
     planner could not avoid.  ``check_parity`` additionally compares the
     final ground states (the Lemma 1 guarantee, now at scale);
     ``include_multiproc`` adds a third run under the one-process-per-shard
-    :class:`~repro.sharding.multiproc.MultiprocEngine`.
+    :class:`~repro.sharding.multiproc.MultiprocEngine`; ``include_pooled``
+    (implies multiproc) adds a *repeat-run* comparison — ``repeats`` update
+    runs on the cold multiproc session (each paying spawn + world shipping)
+    against the same runs on one warm
+    :class:`~repro.sharding.pool.WorkerPool` session (spawn once, deltas
+    only), which is where the pool's amortisation shows.
     """
     from repro.core.fixpoint import ground_part
 
+    if include_pooled:
+        include_multiproc = True
+        if repeats < 2:
+            raise ReproError("the pooled repeat-run sweep needs repeats >= 2")
     comparisons: list[ShardComparison] = []
     for spec in shard_sweep_specs(sizes, max_imports=max_imports, seed=seed):
         scenario = ScenarioSpec.from_topology(
@@ -254,6 +274,38 @@ def run_shard_scalability(
                 multiproc_parity=multiproc_parity,
             )
 
+            if include_pooled:
+                # Cold repeats: every further run on the plain multiproc
+                # session respawns workers and re-ships the worlds.
+                cold_walls = [multiproc_wall]
+                for _ in range(repeats - 1):
+                    started = time.perf_counter()
+                    multiproc_session.run("update")
+                    cold_walls.append(time.perf_counter() - started)
+                with Session.from_spec(
+                    scenario.with_(transport="pooled", shards=shards),
+                    capture_deltas=False,
+                ) as pooled_session:
+                    started = time.perf_counter()
+                    pooled_session.run("update")
+                    pooled_first = time.perf_counter() - started
+                    warm_walls = []
+                    for _ in range(repeats - 1):
+                        started = time.perf_counter()
+                        pooled_session.run("update")
+                        warm_walls.append(time.perf_counter() - started)
+                    pooled_parity = True
+                    if check_parity:
+                        pooled_parity = sync_ground == ground_part(
+                            pooled_session.databases()
+                        )
+                multiproc_columns.update(
+                    multiproc_repeat_wall=sum(cold_walls) / len(cold_walls),
+                    pooled_first_wall=pooled_first,
+                    pooled_warm_wall=sum(warm_walls) / len(warm_walls),
+                    pooled_parity=pooled_parity,
+                )
+
         comparisons.append(
             ShardComparison(
                 label=label,
@@ -280,19 +332,26 @@ def shard_main(
     shards: int = 4,
     sizes: Sequence[int] = (127, 511),
     engine: str = "sharded",
+    repeats: int = 3,
 ) -> str:
     """Print the engine-comparison sweep table.
 
     ``run E3 --engine sharded`` compares sync vs the in-process sharded
     engine; ``run E3 --engine multiproc`` adds the one-process-per-shard
-    engine as a third column group.
+    engine as a third column group; ``run E3 --engine pooled`` additionally
+    re-runs the update ``repeats`` times on a cold multiproc session and on
+    a warm worker pool, so the amortised spawn/ship overhead is visible as
+    the gap between the ``mp repeat wall`` and ``pool warm wall`` columns.
     """
-    include_multiproc = engine == "multiproc"
+    include_multiproc = engine in ("multiproc", "pooled")
+    include_pooled = engine == "pooled"
     comparisons = run_shard_scalability(
         sizes=sizes,
         shards=shards,
         records_per_node=records_per_node,
         include_multiproc=include_multiproc,
+        include_pooled=include_pooled,
+        repeats=repeats,
     )
     headers = [
         "topology",
@@ -330,6 +389,13 @@ def shard_main(
                 f"{c.multiproc_cut_ratio:.3f}",
                 c.multiproc_parity,
             ]
+        if include_pooled:
+            row += [
+                f"{c.multiproc_repeat_wall:.2f}",
+                f"{c.pooled_first_wall:.2f}",
+                f"{c.pooled_warm_wall:.3f}",
+                c.pooled_parity,
+            ]
         rows.append(row)
     if include_multiproc:
         headers += [
@@ -339,15 +405,26 @@ def shard_main(
             "mp cut ratio",
             "mp parity",
         ]
-    engines = "sync vs sharded vs multiproc" if include_multiproc else "sync vs sharded"
-    table = format_table(
-        headers,
-        rows,
-        title=(
-            f"E3 — {engines} update ({shards} shards, "
-            f"{records_per_node} records/node, discovery skipped)"
-        ),
+    if include_pooled:
+        headers += [
+            "mp repeat wall s",
+            "pool first wall s",
+            "pool warm wall s",
+            "pool parity",
+        ]
+    if include_pooled:
+        engines = "sync vs sharded vs multiproc vs pooled"
+    elif include_multiproc:
+        engines = "sync vs sharded vs multiproc"
+    else:
+        engines = "sync vs sharded"
+    title = (
+        f"E3 — {engines} update ({shards} shards, "
+        f"{records_per_node} records/node, discovery skipped"
     )
+    if include_pooled:
+        title += f", {repeats} repeat runs"
+    table = format_table(headers, rows, title=title + ")")
     print(table)
     return table
 

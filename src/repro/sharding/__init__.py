@@ -1,7 +1,7 @@
 """Sharded execution: partition the network, run one worker per shard.
 
 The paper's experiments stop at 31 peers; this subsystem is the scaling
-layer that pushes the same protocols toward thousands.  Three pieces:
+layer that pushes the same protocols toward thousands.  Four pieces:
 
 * :class:`~repro.sharding.planner.ShardPlanner` — partitions peers across K
   shards by greedily cutting the coordination-rule import graph, so chatty
@@ -10,30 +10,50 @@ layer that pushes the same protocols toward thousands.  Three pieces:
   locality-blind baseline),
 * :class:`~repro.sharding.transport.ShardedTransport` — K per-shard event
   queues with inter-shard mailboxes for cross-cut messages and a
-  distributed-quiescence barrier (per-shard idle + empty mailboxes),
-* :class:`~repro.sharding.engine.ShardedEngine` — the
-  :class:`~repro.api.engine.ExecutionEngine` implementation over that
-  transport, reached like any other engine through
-  ``Session.run(...)`` / ``ScenarioSpec(transport="sharded", shards=K)``,
+  distributed-quiescence barrier (per-shard idle + empty mailboxes), driven
+  by :class:`~repro.sharding.engine.ShardedEngine` behind the usual
+  :class:`~repro.api.engine.ExecutionEngine` protocol
+  (``ScenarioSpec(transport="sharded", shards=K)``),
 * :class:`~repro.sharding.multiproc.MultiprocTransport` /
   :class:`~repro.sharding.multiproc.MultiprocEngine` — the same shard
   boundary with one OS *process* per shard (``multiprocessing`` spawn,
   queue-backed mailboxes, a cross-process quiescence barrier), selected via
   ``ScenarioSpec(transport="multiproc", shards=K)`` — the first engine with
-  real multi-core wall-clock speedups on the 500+-node sweeps.
+  real multi-core wall-clock speedups on the 500+-node sweeps,
+* :class:`~repro.sharding.pool.WorkerPool` /
+  :class:`~repro.sharding.pool.PooledEngine` — the *persistent* variant of
+  the multiproc engine (``transport="pooled"``, or ``"multiproc"`` with
+  ``pool=True``): workers spawn once, worlds ship once, and successive runs
+  re-ship only deltas (new facts, ``addLink``/``deleteLink``), amortising
+  the 1-2 s spawn/ship overhead across repeat-run workloads.
+
+See ``docs/architecture.md`` for where this layer sits in the system and
+``docs/engines.md`` for when to pick which engine.
 """
 
 from repro.sharding.engine import ShardedEngine
 from repro.sharding.multiproc import MultiprocEngine, MultiprocTransport
 from repro.sharding.planner import ShardPlan, ShardPlanner, round_robin_plan
+from repro.sharding.pool import (
+    PooledEngine,
+    PooledTransport,
+    SyncDelta,
+    WorkerPool,
+    compute_sync_delta,
+)
 from repro.sharding.transport import ShardedTransport
 
 __all__ = [
     "MultiprocEngine",
     "MultiprocTransport",
+    "PooledEngine",
+    "PooledTransport",
     "ShardPlan",
     "ShardPlanner",
     "ShardedEngine",
     "ShardedTransport",
+    "SyncDelta",
+    "WorkerPool",
+    "compute_sync_delta",
     "round_robin_plan",
 ]

@@ -367,7 +367,110 @@ def _worker_main(world: ShardWorld, inboxes: list, results) -> None:
         results.put(("error", world.shard_index, traceback.format_exc()))
 
 
-# ---------------------------------------------------------------- coordinator
+# ------------------------------------------------- coordinator-side plumbing
+#
+# The await/quiescence helpers are module-level so both worker-process
+# drivers — the per-run MultiprocEngine here and the persistent WorkerPool in
+# :mod:`repro.sharding.pool` — share one implementation of the cumulative-
+# counter double check and of crashed-worker detection.
+
+
+def _check_workers(workers, collected) -> None:
+    """Raise when a worker died before delivering an expected reply.
+
+    A worker that already answered may exit legitimately (the ``stop`` path);
+    only a dead process whose reply is still outstanding is a crash.
+    """
+    if not workers:
+        return
+    for shard, worker in enumerate(workers):
+        if shard not in collected and not worker.is_alive():
+            raise NetworkError(
+                f"shard {shard} worker died unexpectedly "
+                f"(exit code {worker.exitcode})"
+            )
+
+
+def _await_replies(results, kind: str, count: int, workers=None) -> dict[int, object]:
+    """Collect one ``kind`` reply per shard (raising on errors and crashes)."""
+    collected: dict[int, object] = {}
+    deadline = time.monotonic() + _WORKER_TIMEOUT
+    while len(collected) < count:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise NetworkError(
+                f"timed out waiting for {count - len(collected)} shard "
+                f"worker(s) to report {kind!r}"
+            )
+        try:
+            item = results.get(timeout=min(remaining, 1.0))
+        except queue_module.Empty:
+            _check_workers(workers, collected)
+            continue
+        if item[0] == "error":
+            raise NetworkError(
+                f"shard {item[1]} worker failed:\n{item[2]}"
+            )
+        if item[0] == kind:
+            collected[item[1]] = item[2] if len(item) > 2 else None
+    return collected
+
+
+def _quiescence_rounds(
+    results, inboxes, shard_count: int, max_messages: int, workers=None
+) -> None:
+    """Ping workers until two identical, balanced, all-idle rounds agree.
+
+    Counters are cumulative, so if round ``g`` equals round ``g-1`` with
+    every worker idle (empty local queue at reply time) and every shard's
+    received count matching the sum everyone sent to it, no delivery
+    happened between the rounds and nothing is in flight — the
+    distributed double check, with the mp queues as the channels.
+
+    The stall deadline restarts whenever the counters move: a long phase
+    that keeps delivering is healthy however many rounds it takes; only
+    ``_WORKER_TIMEOUT`` seconds with *no* progress at all is a failure.
+    """
+    previous = None
+    last_progress = None
+    generation = 0
+    deadline = time.monotonic() + _WORKER_TIMEOUT
+    while True:
+        if time.monotonic() > deadline:
+            raise NetworkError(
+                "the multiproc run stalled: no delivery progress for "
+                f"{_WORKER_TIMEOUT:.0f}s without reaching quiescence"
+            )
+        generation += 1
+        for inbox in inboxes:
+            inbox.put(("ping", generation))
+        replies = _await_replies(results, "status", shard_count, workers)
+        statuses = [replies[shard] for shard in sorted(replies)]
+        if sum(status["delivered"] for status in statuses) > max_messages:
+            raise NetworkError(
+                f"exceeded {max_messages} deliveries across shards; "
+                "the protocol does not appear to terminate"
+            )
+        all_idle = all(status["idle"] for status in statuses)
+        balanced = all(
+            sum(status["sent"][shard] for status in statuses)
+            == statuses[shard]["received"]
+            for shard in range(shard_count)
+        )
+        fingerprint = tuple(
+            (status["sent"], status["received"], status["delivered"])
+            for status in statuses
+        )
+        progress = tuple(status["delivered"] for status in statuses)
+        if progress != last_progress:
+            last_progress = progress
+            deadline = time.monotonic() + _WORKER_TIMEOUT
+        if all_idle and balanced and fingerprint == previous:
+            return
+        previous = fingerprint if (all_idle and balanced) else None
+        # A failed check means traffic is still moving; yield briefly so
+        # workers get scheduled before the next round.
+        time.sleep(0.002)
 
 
 class MultiprocTransport(BaseTransport):
@@ -467,7 +570,15 @@ class MultiprocTransport(BaseTransport):
 
 
 class MultiprocEngine:
-    """Engine for the multi-process sharded transport."""
+    """Engine for the multi-process sharded transport.
+
+    Each :meth:`run` spawns one worker process per shard, ships the worlds,
+    drives the phase to distributed quiescence and merges the results back —
+    workers live for exactly one run.  For repeat-run workloads use the
+    persistent variant, :class:`repro.sharding.pool.PooledEngine`, which
+    keeps the workers warm and re-ships only deltas (see
+    ``docs/engines.md`` for the measured crossover points).
+    """
 
     name = "multiproc"
 
@@ -548,15 +659,19 @@ class MultiprocEngine:
         for worker in workers:
             worker.start()
         try:
-            self._await_all(results, "ready", plan.shard_count)
+            _await_replies(results, "ready", plan.shard_count, workers)
             for inbox in inboxes:
                 inbox.put(("start", phase, tuple(origins)))
-            self._quiescence_rounds(
-                results, inboxes, plan.shard_count, system.transport.max_messages
+            _quiescence_rounds(
+                results,
+                inboxes,
+                plan.shard_count,
+                system.transport.max_messages,
+                workers,
             )
             for inbox in inboxes:
                 inbox.put(("stop",))
-            done = self._await_all(results, "done", plan.shard_count)
+            done = _await_replies(results, "done", plan.shard_count, workers)
             return [payload for _shard, payload in sorted(done.items())]
         except BaseException:
             for worker in workers:
@@ -569,86 +684,6 @@ class MultiprocEngine:
             for queue in (*inboxes, results):
                 queue.close()
                 queue.cancel_join_thread()
-
-    @staticmethod
-    def _await_all(results, kind: str, count: int) -> dict[int, object]:
-        """Collect one ``kind`` reply per shard (raising on worker errors)."""
-        collected: dict[int, object] = {}
-        deadline = time.monotonic() + _WORKER_TIMEOUT
-        while len(collected) < count:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise NetworkError(
-                    f"timed out waiting for {count - len(collected)} shard "
-                    f"worker(s) to report {kind!r}"
-                )
-            try:
-                item = results.get(timeout=min(remaining, 1.0))
-            except queue_module.Empty:
-                continue
-            if item[0] == "error":
-                raise NetworkError(
-                    f"shard {item[1]} worker failed:\n{item[2]}"
-                )
-            if item[0] == kind:
-                collected[item[1]] = item[2] if len(item) > 2 else None
-        return collected
-
-    def _quiescence_rounds(
-        self, results, inboxes, shard_count: int, max_messages: int
-    ) -> None:
-        """Ping workers until two identical, balanced, all-idle rounds agree.
-
-        Counters are cumulative, so if round ``g`` equals round ``g-1`` with
-        every worker idle (empty local queue at reply time) and every shard's
-        received count matching the sum everyone sent to it, no delivery
-        happened between the rounds and nothing is in flight — the
-        distributed double check, with the mp queues as the channels.
-
-        The stall deadline restarts whenever the counters move: a long phase
-        that keeps delivering is healthy however many rounds it takes; only
-        ``_WORKER_TIMEOUT`` seconds with *no* progress at all is a failure.
-        """
-        previous = None
-        last_progress = None
-        generation = 0
-        deadline = time.monotonic() + _WORKER_TIMEOUT
-        while True:
-            if time.monotonic() > deadline:
-                raise NetworkError(
-                    "the multiproc run stalled: no delivery progress for "
-                    f"{_WORKER_TIMEOUT:.0f}s without reaching quiescence"
-                )
-            generation += 1
-            for inbox in inboxes:
-                inbox.put(("ping", generation))
-            replies = self._await_all(results, "status", shard_count)
-            statuses = [replies[shard] for shard in sorted(replies)]
-            if sum(status["delivered"] for status in statuses) > max_messages:
-                raise NetworkError(
-                    f"exceeded {max_messages} deliveries across shards; "
-                    "the protocol does not appear to terminate"
-                )
-            all_idle = all(status["idle"] for status in statuses)
-            balanced = all(
-                sum(status["sent"][shard] for status in statuses)
-                == statuses[shard]["received"]
-                for shard in range(shard_count)
-            )
-            fingerprint = tuple(
-                (status["sent"], status["received"], status["delivered"])
-                for status in statuses
-            )
-            progress = tuple(status["delivered"] for status in statuses)
-            if progress != last_progress:
-                last_progress = progress
-                deadline = time.monotonic() + _WORKER_TIMEOUT
-            if all_idle and balanced and fingerprint == previous:
-                return
-            previous = fingerprint if (all_idle and balanced) else None
-            # A failed check means traffic is still moving; yield briefly so
-            # workers get scheduled before the next round.
-            time.sleep(0.002)
 
     def _merge(
         self, system, transport: MultiprocTransport, payloads: list[dict], wall: float

@@ -1,4 +1,13 @@
-"""The example scripts must run end-to-end (they double as acceptance tests)."""
+"""Every script in examples/ must run end-to-end at tiny sizes.
+
+The examples double as acceptance tests *and* as the documentation's code —
+docs/ and the README point at them — so they are forbidden from rotting
+silently: each script is listed in ``EXPECTED`` with the arguments that keep
+it small and the output markers that prove it did its job, and
+``test_every_example_is_covered`` fails the moment a script is added to
+``examples/`` without a matching entry here (or removed while still listed).
+The CI ``docs-check`` job runs exactly this module.
+"""
 
 import pathlib
 import subprocess
@@ -7,6 +16,27 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: script name -> (argv, required stdout markers), sizes kept tiny on purpose.
+EXPECTED: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "quickstart.py": ((), ("portal catalogue",)),
+    "paper_example.py": ((), ("matches the centralized fix-point: True",)),
+    "dblp_sharing.py": (("20",), ("answers locally",)),
+    "dynamic_network.py": ((), ("sound", "True")),
+    "sharded_network.py": (
+        ("3",),
+        ("3 shards", "cross-shard", "same fix-point: True"),
+    ),
+    "async_network.py": ((), ("same ground fix-point: True",)),
+    "pooled_network.py": (
+        ("2",),
+        (
+            "cold first update",
+            "warm update after addLink",
+            "same ground fix-point as the sync engine: True",
+        ),
+    ),
+}
 
 
 def run_example(name, *args):
@@ -19,34 +49,21 @@ def run_example(name, *args):
 
 
 class TestExamples:
-    def test_quickstart(self):
-        result = run_example("quickstart.py")
-        assert result.returncode == 0, result.stderr
-        assert "portal catalogue" in result.stdout
+    def test_every_example_is_covered(self):
+        on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert on_disk == set(EXPECTED), (
+            "examples/ and the smoke-test table diverged; add the new "
+            "script to EXPECTED (with tiny-size args and output markers) "
+            "or drop the stale entry"
+        )
 
-    def test_paper_example(self):
-        result = run_example("paper_example.py")
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_example_runs_and_prints_its_markers(self, name):
+        args, markers = EXPECTED[name]
+        result = run_example(name, *args)
         assert result.returncode == 0, result.stderr
-        assert "matches the centralized fix-point: True" in result.stdout
-
-    def test_dblp_sharing(self):
-        result = run_example("dblp_sharing.py", "20")
-        assert result.returncode == 0, result.stderr
-        assert "answers locally" in result.stdout
-
-    def test_dynamic_network(self):
-        result = run_example("dynamic_network.py")
-        assert result.returncode == 0, result.stderr
-        assert "sound" in result.stdout and "True" in result.stdout
-
-    def test_sharded_network(self):
-        result = run_example("sharded_network.py", "3")
-        assert result.returncode == 0, result.stderr
-        assert "3 shards" in result.stdout
-        assert "cross-shard" in result.stdout
-        assert "same fix-point: True" in result.stdout
-
-    def test_async_network(self):
-        result = run_example("async_network.py")
-        assert result.returncode == 0, result.stderr
-        assert "same ground fix-point: True" in result.stdout
+        for marker in markers:
+            assert marker in result.stdout, (
+                f"{name} no longer prints {marker!r}; stdout was:\n"
+                f"{result.stdout}"
+            )
