@@ -199,6 +199,56 @@ def test_bench_pooled_amortization_127(benchmark):
         assert comparison.pooled_warm_wall < comparison.multiproc_repeat_wall / 2
 
 
+def test_bench_socket_warm_update(benchmark):
+    """Warm socket-pool repeat updates on a 63-node tree (2 localhost hosts).
+
+    The cross-machine twin of the pooled benchmark: the first run spawns two
+    localhost ``repro.shardhost`` processes, connects, and ships the worlds;
+    the measured warm repeats drive the same update over the live TCP
+    connections, shipping only deltas.  The recorded mean is the per-run
+    socket overhead (framing, coordinator routing, the ping barrier over
+    TCP) on top of the protocol work — a re-ship or reconnect sneaking into
+    the warm path jumps this number past the regression gate.
+    """
+    import time
+
+    from repro.api.session import Session
+    from repro.api.spec import ScenarioSpec
+
+    spec = ScenarioSpec.from_topology(
+        tree_topology(5, 2), records_per_node=3, seed=0
+    ).with_(transport="socket", shards=2, pool=True)
+    session = Session.from_spec(spec, capture_deltas=False)
+    try:
+        started = time.perf_counter()
+        first = session.run("update")  # cold: spawns hosts, ships worlds
+        cold_wall = time.perf_counter() - started
+        assert first.engine == "socket-pooled"
+
+        warm_walls = []
+
+        def warm_run():
+            started = time.perf_counter()
+            result = session.run("update")
+            warm_walls.append(time.perf_counter() - started)
+            return result
+
+        result = benchmark.pedantic(warm_run, rounds=3, iterations=1)
+        warm_mean = sum(warm_walls) / len(warm_walls)
+        benchmark.extra_info.update(
+            nodes=63,
+            shards=2,
+            hosts=2,
+            cold_first_wall=round(cold_wall, 3),
+            warm_mean_wall=round(warm_mean, 3),
+        )
+        assert result.engine == "socket-pooled"
+        # Warm runs must amortise the host spawn/connect/ship overhead away.
+        assert warm_mean < cold_wall / 2
+    finally:
+        session.close()
+
+
 @pytest.mark.parametrize("size", [3, 5, 7, 9])
 def test_bench_clique_scalability(benchmark, size):
     """Global update on cliques of 3-9 nodes (the densest topology)."""

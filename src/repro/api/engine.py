@@ -15,12 +15,16 @@ protocol with two implementations:
 Both expose ``run`` (blocking) and ``run_async`` (awaitable) with identical
 semantics, so :meth:`repro.api.session.Session.run` works identically over
 both transports; :func:`engine_for` picks the right engine for a transport.
-The scaling layer adds three more implementations behind the same protocol,
+The scaling layer adds five more implementations behind the same protocol,
 selected the same way: :class:`repro.sharding.engine.ShardedEngine` (K
 in-process shard workers), :class:`repro.sharding.multiproc.MultiprocEngine`
-(one worker OS process per shard, respawned per run) and
+(one worker OS process per shard, respawned per run),
 :class:`repro.sharding.pool.PooledEngine` (the same processes kept warm
-across runs).  ``docs/engines.md`` is the decision guide.
+across runs), and the cross-machine pair
+:class:`repro.sharding.sockets.SocketEngine` /
+:class:`repro.sharding.sockets.PooledSocketEngine` (shard workers on TCP
+shard hosts, one-shot or kept warm).  ``docs/engines.md`` is the decision
+guide.
 """
 
 from __future__ import annotations
@@ -158,6 +162,12 @@ def engine_for(transport: BaseTransport) -> ExecutionEngine:
     from repro.sharding.engine import ShardedEngine
     from repro.sharding.multiproc import MultiprocEngine, MultiprocTransport
     from repro.sharding.pool import PooledEngine, PooledTransport
+    from repro.sharding.sockets import (
+        PooledSocketEngine,
+        PooledSocketTransport,
+        SocketEngine,
+        SocketTransport,
+    )
     from repro.sharding.transport import ShardedTransport
 
     if isinstance(transport, SyncTransport):
@@ -166,7 +176,13 @@ def engine_for(transport: BaseTransport) -> ExecutionEngine:
         return AsyncEngine()
     if isinstance(transport, ShardedTransport):
         return ShardedEngine()
-    # PooledTransport subclasses MultiprocTransport, so it must match first.
+    # The transport hierarchy roots at MultiprocTransport, so the most
+    # derived kinds must match first: pooled-socket < socket < multiproc,
+    # and pooled < multiproc.
+    if isinstance(transport, PooledSocketTransport):
+        return PooledSocketEngine()
+    if isinstance(transport, SocketTransport):
+        return SocketEngine()
     if isinstance(transport, PooledTransport):
         return PooledEngine()
     if isinstance(transport, MultiprocTransport):

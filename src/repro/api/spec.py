@@ -112,8 +112,16 @@ class ScenarioSpec:
     #: With ``transport="multiproc"``, keep the shard worker processes alive
     #: between runs (the persistent :class:`~repro.sharding.pool.WorkerPool`:
     #: spawn once, ship the worlds once, re-ship only deltas).  Equivalent to
-    #: ``transport="pooled"``; ignored by the other transports.
+    #: ``transport="pooled"``; with ``transport="socket"`` it selects the warm
+    #: socket pool the same way; ignored by the other transports.
     pool: bool = False
+    #: ``"HOST:PORT"`` shard-host addresses for ``transport="socket"`` —
+    #: every entry a running ``python -m repro.shardhost`` server; shards are
+    #: assigned round-robin across them and ``shards`` defaults to one per
+    #: host.  ``None`` auto-spawns localhost hosts on the first run (owned by
+    #: the session's engine; ``session.close()`` stops them), so specs stay
+    #: replayable with no real cluster at hand.
+    hosts: tuple[str, ...] | None = None
 
     @classmethod
     def of(
@@ -184,8 +192,8 @@ class ScenarioSpec:
         """
         if isinstance(self.transport, BaseTransport):
             raise ReproError(
-                "cannot dump a spec holding a transport instance; "
-                "use transport='sync'/'async'/'sharded'/'multiproc'/'pooled'"
+                "cannot dump a spec holding a transport instance; use "
+                "transport='sync'/'async'/'sharded'/'multiproc'/'pooled'/'socket'"
             )
         document = {
             "format": _SPEC_FORMAT,
@@ -198,6 +206,7 @@ class ScenarioSpec:
             "max_messages": self.max_messages,
             "shards": self.shards,
             "pool": self.pool,
+            "hosts": list(self.hosts) if self.hosts else None,
             "schemas": {
                 node: [
                     {
@@ -279,6 +288,7 @@ class ScenarioSpec:
             name=document.get("name", "scenario"),
             shards=document.get("shards"),
             pool=document.get("pool", False),
+            hosts=tuple(document["hosts"]) if document.get("hosts") else None,
         )
 
     @property
@@ -315,23 +325,31 @@ class ScenarioSpec:
         if self.shards is not None:
             if transport == "sync":
                 transport = "sharded"
-            elif transport not in ("sharded", "multiproc", "pooled"):
+            elif transport not in ("sharded", "multiproc", "pooled", "socket"):
                 raise ReproError(
                     f"shards={self.shards} needs a partitioned transport, but the "
                     f"spec selects {transport if isinstance(transport, str) else type(transport).__name__!r}; "
-                    "drop the shards setting or use transport='sharded'/'multiproc'/'pooled'"
+                    "drop the shards setting or use "
+                    "transport='sharded'/'multiproc'/'pooled'/'socket'"
                 )
-        if self.pool and transport not in ("multiproc", "pooled"):
+        if self.pool and transport not in ("multiproc", "pooled", "socket"):
             from repro.sharding.multiproc import MultiprocTransport
 
-            # A live MultiprocTransport (or its pooled subclass) instance
+            # A live MultiprocTransport (or a pooled/socket subclass) instance
             # already satisfies the flag; everything else cannot pool.
             if not isinstance(transport, MultiprocTransport):
                 raise ReproError(
-                    f"pool=True needs the multiproc transport, but the spec selects "
-                    f"{transport if isinstance(transport, str) else type(transport).__name__!r}; "
-                    "use transport='multiproc' (or 'pooled') with the pool flag"
+                    f"pool=True needs the multiproc or socket transport, but the "
+                    f"spec selects {transport if isinstance(transport, str) else type(transport).__name__!r}; "
+                    "use transport='multiproc'/'pooled'/'socket' with the pool flag"
                 )
+        if self.hosts and transport != "socket":
+            # A transport *instance* carries its own hosts; spec-level hosts
+            # only make sense when the spec builds the transport itself.
+            raise ReproError(
+                f"hosts= needs transport='socket', but the spec selects "
+                f"{transport if isinstance(transport, str) else type(transport).__name__!r}"
+            )
         return P2PSystem.build(
             self.schemas,
             self.rules,
@@ -343,6 +361,7 @@ class ScenarioSpec:
             max_messages=self.max_messages,
             shards=self.shards,
             pool=self.pool,
+            hosts=self.hosts,
         )
 
 
@@ -391,7 +410,7 @@ class NetworkBuilder:
 
     def transport(self, kind: str | BaseTransport) -> "NetworkBuilder":
         """Select the transport: ``"sync"``, ``"async"``, ``"sharded"``,
-        ``"multiproc"``, ``"pooled"`` or an instance."""
+        ``"multiproc"``, ``"pooled"``, ``"socket"`` or an instance."""
         self._settings["transport"] = kind
         return self
 
@@ -417,6 +436,31 @@ class NetworkBuilder:
         self._settings["transport"] = "pooled"
         if shards is not None:
             self._settings["shards"] = shards
+        return self
+
+    def socketed(
+        self,
+        hosts: Iterable[str] | None = None,
+        *,
+        shards: int | None = None,
+        pooled: bool = False,
+    ) -> "NetworkBuilder":
+        """Run over TCP shard hosts (``python -m repro.shardhost`` servers).
+
+        ``hosts`` lists their ``"HOST:PORT"`` addresses — shards are assigned
+        round-robin across them, and the shard count defaults to one per
+        host; ``None`` auto-spawns localhost hosts on the first run (closed
+        with the session).  ``pooled=True`` keeps the host connections and
+        workers warm between runs, re-shipping only structural deltas, like
+        :meth:`pooled` does for the in-box worker pool.
+        """
+        self._settings["transport"] = "socket"
+        if hosts is not None:
+            self._settings["hosts"] = tuple(hosts)
+        if shards is not None:
+            self._settings["shards"] = shards
+        if pooled:
+            self._settings["pool"] = True
         return self
 
     def propagation(self, policy: str) -> "NetworkBuilder":

@@ -41,6 +41,16 @@ def _parse_sizes(text: str) -> tuple[int, ...]:
     return sizes
 
 
+def _parse_hosts(text: str | None) -> tuple[str, ...] | None:
+    """Parse the --hosts flag ("h1:9101,h2:9101") into addresses (or None)."""
+    if text is None:
+        return None
+    hosts = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not hosts:
+        raise ReproError("--hosts needs at least one HOST:PORT address")
+    return hosts
+
+
 #: Experiment id → (description, callable taking the parsed args).
 _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
     "E1": (
@@ -60,8 +70,10 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
                 sizes=_parse_sizes(getattr(args, "sizes", "127,511")),
                 engine=getattr(args, "engine", "sharded"),
                 repeats=getattr(args, "repeats", 3),
+                hosts=_parse_hosts(getattr(args, "hosts", None)),
             )
-            if getattr(args, "engine", "sync") in ("sharded", "multiproc", "pooled")
+            if getattr(args, "engine", "sync")
+            in ("sharded", "multiproc", "pooled", "socket")
             else scalability.main(
                 records_per_node=args.records,
                 strategy=getattr(args, "strategy", "distributed"),
@@ -144,14 +156,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--engine",
-        choices=("sync", "sharded", "multiproc", "pooled"),
+        choices=("sync", "sharded", "multiproc", "pooled", "socket"),
         default="sync",
         help=(
             "execution engine for E3: 'sharded' runs the large sync-vs-sharded "
             "sweep instead of the paper-sized one; 'multiproc' additionally "
             "runs the one-process-per-shard engine; 'pooled' adds the "
-            "repeat-run comparison against a persistent worker pool "
+            "repeat-run comparison against a persistent worker pool; "
+            "'socket' adds the TCP shard-host engine (see --hosts) "
             "(default sync)"
+        ),
+    )
+    run_parser.add_argument(
+        "--hosts",
+        default=None,
+        help=(
+            "comma-separated HOST:PORT shard-host addresses for --engine "
+            "socket (each a running 'python -m repro.shardhost'); omitted, "
+            "localhost hosts are auto-spawned"
         ),
     )
     run_parser.add_argument(
@@ -238,6 +260,19 @@ def main(argv: list[str] | None = None) -> int:
                 "note: the engine sweep always runs the distributed protocol; "
                 f"--strategy {args.strategy} is ignored with --engine {args.engine}"
             )
+        if getattr(args, "hosts", None) and (
+            args.engine != "socket" or args.experiment != "E3"
+        ):
+            # Silently running on the local box while the user named a fleet
+            # would be the worst outcome; fail loudly instead.  Only the E3
+            # engine sweep consumes hosts.
+            print(
+                "error: --hosts applies only to the E3 socket sweep "
+                f"(run E3 --engine socket); got {args.experiment} with "
+                f"--engine {args.engine}",
+                file=sys.stderr,
+            )
+            return 2
         _description, run = _EXPERIMENTS[args.experiment]
         try:
             run(args)

@@ -67,16 +67,21 @@ class P2PSystem:
         max_messages: int = 1_000_000,
         shards: int | None = None,
         pool: bool = False,
+        hosts: Iterable[str] | None = None,
     ) -> "P2PSystem":
         """Build a system from per-node schemas, rules and initial data.
 
         ``transport`` is either an existing transport instance or the string
         ``"sync"`` / ``"async"`` / ``"sharded"`` / ``"multiproc"`` /
-        ``"pooled"``; ``shards`` sets the shard count of the partitioned
-        transports (default 2, ignored otherwise); ``pool=True`` upgrades the
-        ``"multiproc"`` transport to the persistent worker pool (equivalent
-        to ``transport="pooled"``); ``propagation`` selects the query
-        propagation policy of every node (see :mod:`repro.core.update`).
+        ``"pooled"`` / ``"socket"``; ``shards`` sets the shard count of the
+        partitioned transports (default 2, ignored otherwise); ``pool=True``
+        upgrades the ``"multiproc"`` transport to the persistent worker pool
+        (equivalent to ``transport="pooled"``) and the ``"socket"`` transport
+        to the warm socket pool; ``hosts`` lists the ``"HOST:PORT"``
+        shard-host addresses of the ``"socket"`` transport (``None``
+        auto-spawns localhost hosts, and the shard count defaults to one per
+        host); ``propagation`` selects the query propagation policy of every
+        node (see :mod:`repro.core.update`).
         """
         if isinstance(transport, BaseTransport):
             transport_obj = transport
@@ -106,8 +111,25 @@ class P2PSystem:
                 latency=latency,
                 max_messages=max_messages,
             )
+        elif transport == "socket":
+            from repro.sharding.sockets import PooledSocketTransport, SocketTransport
+
+            socket_cls = PooledSocketTransport if pool else SocketTransport
+            transport_obj = socket_cls(
+                shard_count=shards,
+                hosts=tuple(hosts) if hosts else None,
+                latency=latency,
+                max_messages=max_messages,
+            )
         else:
             raise ReproError(f"unknown transport kind {transport!r}")
+        if hosts and not isinstance(transport, str):
+            raise ReproError(
+                "hosts= only applies when the transport is built here; "
+                "pass them to the SocketTransport instance instead"
+            )
+        if hosts and isinstance(transport, str) and transport != "socket":
+            raise ReproError(f"hosts= needs transport='socket', not {transport!r}")
 
         system = cls(transport_obj, super_peer=super_peer)
         for node_id, schema in schemas.items():

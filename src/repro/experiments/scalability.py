@@ -155,6 +155,11 @@ class ShardComparison:
     pooled_first_wall: float | None = None
     pooled_warm_wall: float | None = None
     pooled_parity: bool | None = None
+    socket_time: float | None = None
+    socket_wall: float | None = None
+    socket_messages: int | None = None
+    socket_cross_shard: int | None = None
+    socket_parity: bool | None = None
 
     @property
     def per_shard_column(self) -> str:
@@ -201,6 +206,8 @@ def run_shard_scalability(
     check_parity: bool = True,
     include_multiproc: bool = False,
     include_pooled: bool = False,
+    include_socket: bool = False,
+    hosts: Sequence[str] | None = None,
     repeats: int = 3,
 ) -> list[ShardComparison]:
     """Run the global update under the sync and the partitioned engines side by side.
@@ -215,7 +222,10 @@ def run_shard_scalability(
     runs on the cold multiproc session (each paying spawn + world shipping)
     against the same runs on one warm
     :class:`~repro.sharding.pool.WorkerPool` session (spawn once, deltas
-    only), which is where the pool's amortisation shows.
+    only), which is where the pool's amortisation shows.  ``include_socket``
+    adds a run under the TCP shard-host
+    :class:`~repro.sharding.sockets.SocketEngine` — against the ``hosts``
+    addresses when given, else against auto-spawned localhost hosts.
     """
     from repro.core.fixpoint import ground_part
 
@@ -306,6 +316,34 @@ def run_shard_scalability(
                     pooled_parity=pooled_parity,
                 )
 
+        socket_columns: dict = {}
+        if include_socket:
+            started = time.perf_counter()
+            with Session.from_spec(
+                scenario.with_(
+                    transport="socket",
+                    shards=shards,
+                    hosts=tuple(hosts) if hosts else None,
+                ),
+                capture_deltas=False,
+            ) as socket_session:
+                socket_result = socket_session.run("update")
+                socket_wall = time.perf_counter() - started
+                socket_traffic = socket_result.stats.sharding
+                assert socket_traffic is not None
+                socket_parity = True
+                if check_parity:
+                    socket_parity = sync_ground == ground_part(
+                        socket_session.databases()
+                    )
+            socket_columns = dict(
+                socket_time=socket_result.completion_time,
+                socket_wall=socket_wall,
+                socket_messages=socket_result.stats.total_messages,
+                socket_cross_shard=socket_traffic.cross_shard_messages,
+                socket_parity=socket_parity,
+            )
+
         comparisons.append(
             ShardComparison(
                 label=label,
@@ -322,6 +360,7 @@ def run_shard_scalability(
                 messages_by_shard=dict(traffic.messages_by_shard),
                 parity=parity,
                 **multiproc_columns,
+                **socket_columns,
             )
         )
     return comparisons
@@ -333,6 +372,7 @@ def shard_main(
     sizes: Sequence[int] = (127, 511),
     engine: str = "sharded",
     repeats: int = 3,
+    hosts: Sequence[str] | None = None,
 ) -> str:
     """Print the engine-comparison sweep table.
 
@@ -341,16 +381,22 @@ def shard_main(
     engine as a third column group; ``run E3 --engine pooled`` additionally
     re-runs the update ``repeats`` times on a cold multiproc session and on
     a warm worker pool, so the amortised spawn/ship overhead is visible as
-    the gap between the ``mp repeat wall`` and ``pool warm wall`` columns.
+    the gap between the ``mp repeat wall`` and ``pool warm wall`` columns;
+    ``run E3 --engine socket`` instead adds the TCP shard-host engine,
+    dialing ``--hosts`` when given and auto-spawned localhost hosts
+    otherwise.
     """
     include_multiproc = engine in ("multiproc", "pooled")
     include_pooled = engine == "pooled"
+    include_socket = engine == "socket"
     comparisons = run_shard_scalability(
         sizes=sizes,
         shards=shards,
         records_per_node=records_per_node,
         include_multiproc=include_multiproc,
         include_pooled=include_pooled,
+        include_socket=include_socket,
+        hosts=hosts,
         repeats=repeats,
     )
     headers = [
@@ -396,6 +442,13 @@ def shard_main(
                 f"{c.pooled_warm_wall:.3f}",
                 c.pooled_parity,
             ]
+        if include_socket:
+            row += [
+                c.socket_time,
+                f"{c.socket_wall:.2f}",
+                c.socket_cross_shard,
+                c.socket_parity,
+            ]
         rows.append(row)
     if include_multiproc:
         headers += [
@@ -412,10 +465,19 @@ def shard_main(
             "pool warm wall s",
             "pool parity",
         ]
+    if include_socket:
+        headers += [
+            "socket time",
+            "socket wall s",
+            "socket cross-shard",
+            "socket parity",
+        ]
     if include_pooled:
         engines = "sync vs sharded vs multiproc vs pooled"
     elif include_multiproc:
         engines = "sync vs sharded vs multiproc"
+    elif include_socket:
+        engines = "sync vs sharded vs socket"
     else:
         engines = "sync vs sharded"
     title = (

@@ -1,0 +1,64 @@
+"""Standalone shard-host server: ``python -m repro.shardhost --bind HOST:PORT``.
+
+Runs one :class:`~repro.sharding.sockets.ShardHost` in the foreground.  A
+coordinator built with ``transport="socket"`` dials a fleet of these (see
+``docs/engines.md``), ships each the shard workers it should run, and drives
+the update protocol over the connection; when the coordinator disconnects the
+host loops back to accepting the next one, so one fleet serves many runs.
+
+With ``--bind HOST:0`` the OS picks the port; the host announces the bound
+address on stdout (``shardhost listening on HOST:PORT``), which is how the
+localhost auto-spawn helper discovers its hosts.  Frames are pickles — bind
+to localhost or a trusted network segment only (see the trust-model note in
+:mod:`repro.sharding.sockets`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sharding.sockets import (
+    DEFAULT_MAX_FRAME,
+    HOST_ANNOUNCE,
+    ShardHost,
+    parse_address,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed separately so tests can exercise it)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.shardhost",
+        description="Host shard workers for a socket-transport coordinator.",
+    )
+    parser.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="HOST:PORT to listen on (port 0 lets the OS pick; default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-frame",
+        type=int,
+        default=DEFAULT_MAX_FRAME,
+        help="refuse frames larger than this many bytes (default %(default)s)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    host = ShardHost(parse_address(args.bind), max_frame=args.max_frame)
+    print(f"{HOST_ANNOUNCE}{host.address[0]}:{host.port}", flush=True)
+    try:
+        host.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        host.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -25,7 +25,17 @@ layer that pushes the same protocols toward thousands.  Four pieces:
   the multiproc engine (``transport="pooled"``, or ``"multiproc"`` with
   ``pool=True``): workers spawn once, worlds ship once, and successive runs
   re-ship only deltas (new facts, ``addLink``/``deleteLink``), amortising
-  the 1-2 s spawn/ship overhead across repeat-run workloads.
+  the 1-2 s spawn/ship overhead across repeat-run workloads,
+* :class:`~repro.sharding.sockets.ShardHost` /
+  :class:`~repro.sharding.sockets.SocketPool` /
+  :class:`~repro.sharding.sockets.SocketEngine` — the *cross-machine*
+  variant (``transport="socket"``, plus ``pool=True`` for the warm
+  :class:`~repro.sharding.sockets.PooledSocketEngine`): shard workers live
+  in ``python -m repro.shardhost`` server processes anywhere TCP reaches,
+  the coordinator ships worlds and drives the same delta-sync protocol and
+  quiescence barrier over length-prefixed frames, and a localhost
+  auto-spawn helper (:class:`~repro.sharding.sockets.LocalHostCluster`)
+  keeps tests and CI cluster-free.
 
 See ``docs/architecture.md`` for where this layer sits in the system and
 ``docs/engines.md`` for when to pick which engine.
@@ -39,21 +49,39 @@ from repro.sharding.pool import (
     PooledTransport,
     SyncDelta,
     WorkerPool,
+    WorldMirror,
     compute_sync_delta,
+)
+from repro.sharding.sockets import (
+    LocalHostCluster,
+    PooledSocketEngine,
+    PooledSocketTransport,
+    ShardHost,
+    SocketEngine,
+    SocketPool,
+    SocketTransport,
 )
 from repro.sharding.transport import ShardedTransport
 
 __all__ = [
+    "LocalHostCluster",
     "MultiprocEngine",
     "MultiprocTransport",
     "PooledEngine",
+    "PooledSocketEngine",
+    "PooledSocketTransport",
     "PooledTransport",
+    "ShardHost",
     "ShardPlan",
     "ShardPlanner",
     "ShardedEngine",
     "ShardedTransport",
+    "SocketEngine",
+    "SocketPool",
+    "SocketTransport",
     "SyncDelta",
     "WorkerPool",
+    "WorldMirror",
     "compute_sync_delta",
     "round_robin_plan",
 ]

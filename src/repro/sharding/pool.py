@@ -189,6 +189,63 @@ def compute_sync_delta(
     )
 
 
+class WorldMirror:
+    """Coordinator-side mirror of what a set of remote workers currently hold.
+
+    One instance backs every persistent-worker driver — the mp-queue
+    :class:`WorkerPool` here and the TCP
+    :class:`~repro.sharding.sockets.SocketPool` — so the delta-sync protocol
+    (what to re-ship, when a re-plan invalidates the partition) is a single
+    implementation whatever the transport underneath.
+    """
+
+    def __init__(self, worlds):
+        # The mirror starts as the worlds' own rule set and data slices:
+        # that is exactly what the workers load at build time.
+        self.rules: dict[str, str] = {
+            rule.rule_id: str(rule) for rule in (worlds[0].rules if worlds else ())
+        }
+        self.facts: FactsMirror = {}
+        for world in worlds:
+            for node_id, relations in world.data_slice.items():
+                self.facts[node_id] = {
+                    relation: frozenset(rows)
+                    for relation, rows in relations.items()
+                }
+
+    def delta(self, system) -> SyncDelta:
+        """What changed in the coordinator since the workers last synced."""
+        return compute_sync_delta(system, self.rules, self.facts)
+
+    def note_synced(self, system) -> None:
+        """Record that the workers now hold the coordinator's current state."""
+        self.rules = rules_fingerprint(system)
+        for node_id, node in system.nodes.items():
+            self.facts[node_id] = dict(node.database.facts())
+
+    def note_collected(self, payloads: Iterable[Mapping]) -> None:
+        """Adopt the facts the workers just shipped home as the new mirror."""
+        for payload in payloads:
+            for node_id, facts in payload["facts"].items():
+                self.facts[node_id] = dict(facts)
+
+    def plan_if_stale(self, plan: ShardPlan, system, planner: ShardPlanner):
+        """Re-plan after a rule-graph change; a moved peer invalidates the pool.
+
+        Returns ``None`` while the rule graph is unchanged *or* the fresh plan
+        keeps every peer on its current shard (then a sync ships the rule
+        delta to the warm workers); returns the fresh plan when any peer would
+        move — the caller must restart its workers over the new partition,
+        because data slices live in worker memory.
+        """
+        if rules_fingerprint(system) == self.rules:
+            return None
+        fresh = planner.plan_system(system)
+        if dict(fresh.shard_of) == dict(plan.shard_of):
+            return None
+        return fresh
+
+
 # ------------------------------------------------------------ worker process
 
 
@@ -308,18 +365,7 @@ class WorkerPool:
         self.plan = plan
         self.closed = False
         self._max_messages = worlds[0].max_messages if worlds else 1_000_000
-        # The mirror starts as the worlds' own data slices: that is exactly
-        # what the workers load at build time.
-        self._mirror_rules: dict[str, str] = {
-            rule.rule_id: str(rule) for rule in (worlds[0].rules if worlds else ())
-        }
-        self._mirror_facts: FactsMirror = {}
-        for world in worlds:
-            for node_id, relations in world.data_slice.items():
-                self._mirror_facts[node_id] = {
-                    relation: frozenset(rows)
-                    for relation, rows in relations.items()
-                }
+        self._mirror = WorldMirror(worlds)
         context = multiprocessing.get_context("spawn")
         self._inboxes = [context.Queue() for _ in range(plan.shard_count)]
         self._results = context.Queue()
@@ -416,12 +462,7 @@ class WorkerPool:
         would move — the caller must close this pool and spawn a new one over
         the new partition, because data slices live in worker memory.
         """
-        if rules_fingerprint(system) == self._mirror_rules:
-            return None
-        fresh = planner.plan_system(system)
-        if dict(fresh.shard_of) == dict(self.plan.shard_of):
-            return None
-        return fresh
+        return self._mirror.plan_if_stale(self.plan, system, planner)
 
     # ------------------------------------------------------------------ runs
 
@@ -432,13 +473,11 @@ class WorkerPool:
         callers and tests can observe exactly what went over the wire.
         """
         self._require_open()
-        delta = compute_sync_delta(system, self._mirror_rules, self._mirror_facts)
+        delta = self._mirror.delta(system)
         if not delta.empty:
             for shard, inbox in enumerate(self._inboxes):
                 inbox.put(("sync", delta.for_shard(self.plan, shard)))
-            self._mirror_rules = rules_fingerprint(system)
-            for node_id, node in system.nodes.items():
-                self._mirror_facts[node_id] = dict(node.database.facts())
+            self._mirror.note_synced(system)
         return delta
 
     def run_phase(self, phase: str, origins: Iterable[NodeId]) -> list[dict]:
@@ -472,9 +511,7 @@ class WorkerPool:
         payloads = [payload for _shard, payload in sorted(collected.items())]
         # After the merge the coordinator will hold exactly these facts, and
         # so do the workers: the mirror is the shipped state itself.
-        for payload in payloads:
-            for node_id, facts in payload["facts"].items():
-                self._mirror_facts[node_id] = dict(facts)
+        self._mirror.note_collected(payloads)
         return payloads
 
     def __repr__(self) -> str:
@@ -503,7 +540,55 @@ class PooledTransport(MultiprocTransport):
         )
 
 
-class PooledEngine(MultiprocEngine):
+class WarmPoolLifecycle:
+    """The warm-pool run driver shared by the mp and socket pooled engines.
+
+    Mixed in front of the engine base class; subclasses provide
+    :meth:`_spawn_pool` (how to bring a cold pool up over the live system)
+    and everything else — dead-pool detection, re-plan invalidation, delta
+    sync, forget-on-error — is one implementation, like
+    :class:`WorldMirror` is for the mirror bookkeeping.
+    """
+
+    planner: ShardPlanner | None
+    _pool = None
+
+    def _spawn_pool(self, system, transport):
+        raise NotImplementedError  # pragma: no cover - mixin contract
+
+    def _drive_workers(self, system, plan, phase, origins) -> list[dict]:
+        """Reuse the warm pool when possible; (re)spawn when it is not.
+
+        Cold paths: no pool yet, a worker died since the last run, or the
+        rule graph changed in a way that re-partitions the network (the
+        re-plan invalidation described in :meth:`WorkerPool.plan_if_stale`).
+        Warm path: ship the delta, run the phase.
+        """
+        transport = system.transport
+        planner = self.planner or ShardPlanner(transport.shard_count)
+        pool = self._pool
+        if pool is not None and not pool.alive:
+            pool.close()
+            pool = self._pool = None
+        if pool is not None:
+            fresh_plan = pool.plan_if_stale(system, planner)
+            if fresh_plan is not None:
+                pool.close()
+                pool = self._pool = None
+                transport.apply_plan(fresh_plan)
+            else:
+                pool.sync(system)
+        if pool is None:
+            pool = self._pool = self._spawn_pool(system, transport)
+        try:
+            return pool.run_phase(phase, origins)
+        except BaseException:
+            # run_phase closed the pool; forget it so the next run respawns.
+            self._pool = None
+            raise
+
+
+class PooledEngine(WarmPoolLifecycle, MultiprocEngine):
     """The multiproc engine over a persistent :class:`WorkerPool`.
 
     The first :meth:`run` spawns the pool (paying the same spawn/ship price
@@ -543,33 +628,5 @@ class PooledEngine(MultiprocEngine):
         except Exception:
             pass
 
-    def _drive_workers(self, system, plan, phase, origins) -> list[dict]:
-        """Reuse the warm pool when possible; (re)spawn when it is not.
-
-        Cold paths: no pool yet, a worker died since the last run, or the
-        rule graph changed in a way that re-partitions the network (the
-        re-plan invalidation described in :meth:`WorkerPool.plan_if_stale`).
-        Warm path: ship the delta, run the phase.
-        """
-        transport = system.transport
-        planner = self.planner or ShardPlanner(transport.shard_count)
-        pool = self._pool
-        if pool is not None and not pool.alive:
-            pool.close()
-            pool = self._pool = None
-        if pool is not None:
-            fresh_plan = pool.plan_if_stale(system, planner)
-            if fresh_plan is not None:
-                pool.close()
-                pool = self._pool = None
-                transport.apply_plan(fresh_plan)
-            else:
-                pool.sync(system)
-        if pool is None:
-            pool = self._pool = WorkerPool.spawn(system, transport.plan)
-        try:
-            return pool.run_phase(phase, origins)
-        except BaseException:
-            # run_phase closed the pool; forget it so the next run respawns.
-            self._pool = None
-            raise
+    def _spawn_pool(self, system, transport) -> WorkerPool:
+        return WorkerPool.spawn(system, transport.plan)

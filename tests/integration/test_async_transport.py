@@ -2,20 +2,13 @@
 
 import asyncio
 
-import pytest
-
 from repro.core.fixpoint import ground_part
 from repro.core.superpeer import SuperPeer
 from repro.core.system import P2PSystem
 from repro.coordination.rule import rule_from_text
 from repro.database.schema import DatabaseSchema, RelationSchema
 from repro.network.latency import UniformLatency
-from repro.workloads.scenarios import (
-    build_paper_example,
-    paper_example_data,
-    paper_example_rules,
-    paper_example_schemas,
-)
+from repro.workloads.scenarios import build_paper_example
 
 
 def run(coro):

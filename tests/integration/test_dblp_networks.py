@@ -1,7 +1,5 @@
 """Integration tests on the DBLP workload networks (the Section 5 configuration)."""
 
-import pytest
-
 from repro.core.fixpoint import all_nodes_closed, verify_against_centralized
 from repro.core.superpeer import SuperPeer
 from repro.database.parser import parse_query

@@ -15,7 +15,6 @@ from repro.core.dynamics import (
     is_sound_answer,
     sound_envelope,
 )
-from repro.core.fixpoint import all_nodes_closed
 from repro.core.system import P2PSystem
 from repro.database.schema import DatabaseSchema, RelationSchema
 from repro.errors import ChangeError

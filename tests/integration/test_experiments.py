@@ -1,7 +1,5 @@
 """Integration tests of the experiment harness (E1-E10) at reduced scale."""
 
-import pytest
-
 from repro.experiments.baseline_comparison import run_baseline_comparison
 from repro.experiments.complexity_growth import run_change_growth, run_clique_growth
 from repro.experiments.data_distribution import run_data_distribution

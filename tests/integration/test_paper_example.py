@@ -1,7 +1,5 @@
 """Integration tests on the paper's Section 2 running example (E1/E2)."""
 
-import pytest
-
 from repro.core.fixpoint import all_nodes_closed, satisfies_all_rules, verify_against_centralized
 from repro.core.state import DiscoveryState, UpdateState
 from repro.core.superpeer import SuperPeer

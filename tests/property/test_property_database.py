@@ -1,6 +1,6 @@
 """Property-based tests for the relational engine (relations, evaluation, chase)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.database.database import LocalDatabase

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import _parse_sizes, build_parser, list_experiments, main
+from repro.cli import _parse_hosts, _parse_sizes, build_parser, list_experiments, main
 from repro.errors import ReproError
 
 
@@ -54,6 +54,30 @@ class TestParser:
         with pytest.raises(ReproError):
             _parse_sizes("")
 
+    def test_socket_engine_and_hosts_flags(self):
+        args = build_parser().parse_args(
+            ["run", "E3", "--engine", "socket", "--hosts", "h1:9101, h2:9102"]
+        )
+        assert args.engine == "socket"
+        assert _parse_hosts(args.hosts) == ("h1:9101", "h2:9102")
+
+    def test_hosts_default_to_auto_spawn(self):
+        args = build_parser().parse_args(["run", "E3", "--engine", "socket"])
+        assert args.hosts is None
+        assert _parse_hosts(args.hosts) is None
+
+    def test_empty_hosts_rejected(self):
+        with pytest.raises(ReproError):
+            _parse_hosts(" , ")
+
+    def test_shardhost_parser_binds_and_bounds(self):
+        from repro.shardhost import build_parser as build_host_parser
+
+        args = build_host_parser().parse_args(["--bind", "0.0.0.0:9101"])
+        assert args.bind == "0.0.0.0:9101"
+        args = build_host_parser().parse_args(["--max-frame", "1024"])
+        assert args.max_frame == 1024
+
 
 class TestExecution:
     def test_list_prints_all_ten_experiments(self, capsys):
@@ -77,6 +101,22 @@ class TestExecution:
         assert main(["run", "E2", "--limit", "5"]) == 0
         out = capsys.readouterr().out
         assert "request_nodes" in out
+
+    def test_hosts_with_a_non_socket_engine_fails_loudly(self, capsys):
+        # Silently sweeping the local box while the user named a fleet would
+        # be the worst outcome, so this is an error, not a note.
+        assert (
+            main(["run", "E3", "--engine", "pooled", "--hosts", "h1:9101"]) == 2
+        )
+        assert "--hosts applies only" in capsys.readouterr().err
+
+    def test_hosts_outside_the_e3_sweep_fails_loudly(self, capsys):
+        # Only E3's engine sweep consumes hosts; every other experiment
+        # would silently run on the local box.
+        assert (
+            main(["run", "E1", "--engine", "socket", "--hosts", "h1:9101"]) == 2
+        )
+        assert "--hosts applies only" in capsys.readouterr().err
 
     def test_main_runs_the_sharded_sweep(self, capsys):
         assert (

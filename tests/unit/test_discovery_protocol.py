@@ -1,7 +1,5 @@
 """Unit tests for the topology-discovery protocol (algorithms A1-A3)."""
 
-import pytest
-
 from repro.coordination.rule import rule_from_text
 from repro.core.state import DiscoveryState
 from repro.core.system import P2PSystem

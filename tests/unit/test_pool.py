@@ -18,7 +18,6 @@ from repro.sharding.planner import ShardPlan, ShardPlanner
 from repro.sharding.pool import (
     PooledEngine,
     PooledTransport,
-    WorkerPool,
     compute_sync_delta,
     rules_fingerprint,
 )

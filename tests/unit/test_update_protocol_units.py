@@ -1,7 +1,5 @@
 """Unit tests for the update protocol internals: rounds, pushes, fragments."""
 
-import pytest
-
 from repro.coordination.rule import rule_from_text
 from repro.core.state import UpdateState
 from repro.core.system import P2PSystem
