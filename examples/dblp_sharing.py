@@ -23,7 +23,8 @@ from repro.workloads import tree_topology
 def main(records_per_node: int = 60) -> None:
     spec = tree_topology(depth=3, fanout=2)
     print(f"topology: {spec.name}, {spec.node_count} peers, depth {spec.depth}")
-    print("schema variants:", {node: spec.variant_of(node) for node in spec.nodes[:5]}, "...")
+    variants = {node: spec.variant_of(node) for node in spec.nodes[:5]}
+    print("schema variants:", variants, "...")
 
     scenario = ScenarioSpec.from_topology(
         spec,

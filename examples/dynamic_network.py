@@ -77,7 +77,8 @@ def main() -> None:
     print(f"\nupdate terminated at simulated time {completion:.1f} "
           f"after {stats.total_messages} messages")
     print("sound    (⊆ all-adds-first reference):", is_sound_answer(measured, upper))
-    print("complete (⊇ all-deletes-first reference):", is_complete_answer(measured, lower))
+    complete = is_complete_answer(measured, lower)
+    print("complete (⊇ all-deletes-first reference):", complete)
     root_rows = sum(len(rows) for rows in measured[root].values())
     print(f"root peer {root!r} now holds {root_rows} rows")
 

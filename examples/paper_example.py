@@ -50,7 +50,10 @@ def main() -> None:
 
     print("\nExecution trace (first 25 messages, cf. Figure 1):")
     for at_time, message in system.transport.trace[:25]:
-        print(f"   t={at_time:5.1f}  {message.type.value:17s} {message.sender} -> {message.recipient}")
+        print(
+            f"   t={at_time:5.1f}  {message.type.value:17s} "
+            f"{message.sender} -> {message.recipient}"
+        )
 
     print("\nLocal databases after the update:")
     for node_id in sorted(system.nodes):
@@ -63,7 +66,12 @@ def main() -> None:
         system, paper_example_schemas(), paper_example_rules(), paper_example_data()
     )
     stats = system.snapshot_stats()
-    print("\nmessages:", stats.total_messages, " duplicate queries:", stats.total_duplicate_queries)
+    print(
+        "\nmessages:",
+        stats.total_messages,
+        " duplicate queries:",
+        stats.total_duplicate_queries,
+    )
     print("distributed result matches the centralized fix-point:", report.ok)
     assert report.ok
 

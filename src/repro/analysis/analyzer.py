@@ -1,0 +1,96 @@
+"""The analysis entry points: one call runs every static check.
+
+:func:`analyze` takes a :class:`~repro.api.spec.ScenarioSpec` (or a path to a
+scenario JSON file) and returns an
+:class:`~repro.analysis.diagnostics.AnalysisReport`; :func:`analyze_parts`
+is the same pass over loose parts for callers that have no spec object.  The
+pass is purely static — nothing is built, no engine starts, no data moves —
+so it runs in milliseconds even for networks whose fix-point would take
+minutes, which is the whole point of pre-flight checking.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.analysis.checks import (
+    DataMap,
+    SchemaMap,
+    check_data,
+    check_reachability,
+    check_safety,
+    check_schemas,
+    check_shard_plan,
+    check_termination,
+)
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.coordination.rule import CoordinationRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports us)
+    from repro.api.spec import ScenarioSpec
+
+#: Severity rank used to sort reports: errors first, then warnings, infos.
+_SEVERITY_ORDER = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+def _sorted(diagnostics: list[Diagnostic]) -> tuple[Diagnostic, ...]:
+    return tuple(
+        sorted(
+            diagnostics,
+            key=lambda d: (
+                _SEVERITY_ORDER[d.severity],
+                d.code,
+                d.rule_id or "",
+                d.node or "",
+            ),
+        )
+    )
+
+
+def analyze_parts(
+    schemas: SchemaMap,
+    rules: Sequence[CoordinationRule],
+    data: DataMap | None = None,
+    *,
+    shards: int | None = None,
+    scenario: str = "network",
+    cut_threshold: float = 0.5,
+) -> AnalysisReport:
+    """Run every static check over loose network parts."""
+    data = data or {}
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(check_schemas(schemas, rules))
+    diagnostics.extend(check_data(schemas, data))
+    diagnostics.extend(check_safety(rules))
+    diagnostics.extend(check_termination(rules))
+    diagnostics.extend(check_reachability(schemas, rules, data))
+    diagnostics.extend(
+        check_shard_plan(schemas, rules, shards, cut_threshold=cut_threshold)
+    )
+    return AnalysisReport(scenario=scenario, diagnostics=_sorted(diagnostics))
+
+
+def analyze(
+    spec: "ScenarioSpec | str | Path",
+    *,
+    cut_threshold: float = 0.5,
+) -> AnalysisReport:
+    """Statically analyze a scenario (a spec object, JSON text or a path).
+
+    Strings and paths are loaded through
+    :meth:`~repro.api.spec.ScenarioSpec.load_json` first, so the CLI's
+    ``lint`` command and library callers share one code path.
+    """
+    from repro.api.spec import ScenarioSpec
+
+    if not isinstance(spec, ScenarioSpec):
+        spec = ScenarioSpec.load_json(spec)
+    return analyze_parts(
+        spec.schemas,
+        spec.rules,
+        spec.data,
+        shards=spec.shards,
+        scenario=spec.name,
+        cut_threshold=cut_threshold,
+    )

@@ -1,0 +1,402 @@
+"""The individual static checks behind :func:`repro.analysis.analyze`.
+
+Each check is a pure function from network parts (schemas, rules, data) to a
+list of :class:`~repro.analysis.diagnostics.Diagnostic` records.  The codes
+are grouped by family — ``T`` termination, ``S`` rule safety, ``C`` schema
+consistency, ``R`` reachability, ``P`` shard planning — and documented with
+examples in ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.positions import existential_cycles
+from repro.coordination.depgraph import DependencyGraph
+from repro.coordination.rule import CoordinationRule, NodeId
+from repro.database.relation import Row
+from repro.database.schema import DatabaseSchema
+from repro.sharding.planner import ShardPlanner
+
+SchemaMap = Mapping[NodeId, DatabaseSchema]
+DataMap = Mapping[NodeId, Mapping[str, Sequence[Row]]]
+
+
+# ------------------------------------------------------------- T: termination
+
+
+def check_termination(rules: Sequence[CoordinationRule]) -> list[Diagnostic]:
+    """``T001`` — existential cycle (weak acyclicity violated).
+
+    ``T002`` — plain dependency cycle: terminates, but worth knowing about.
+    """
+    diagnostics: list[Diagnostic] = []
+    offending = existential_cycles(rules)
+    if offending:
+        culprits = sorted({edge.rule_id for edge in offending})
+        positions = sorted(
+            {
+                f"{node}.{relation}[{index}]"
+                for edge in offending
+                for node, relation, index in (edge.source, edge.target)
+            }
+        )
+        diagnostics.append(
+            Diagnostic(
+                code="T001",
+                severity=Severity.ERROR,
+                message=(
+                    "existential cycle through positions "
+                    f"{', '.join(positions)}: rules {', '.join(culprits)} can "
+                    "invent labelled nulls that re-trigger each other, so the "
+                    "update fix-point is not guaranteed to terminate (the "
+                    "rule set is not weakly acyclic)"
+                ),
+                rule_id=culprits[0],
+                suggestion=(
+                    "keep key columns in universal (body-bound) head "
+                    "positions, or break the import cycle between the "
+                    "offending peers"
+                ),
+            )
+        )
+        return diagnostics
+    graph = DependencyGraph.from_rules(rules)
+    if rules and not graph.is_acyclic():
+        diagnostics.append(
+            Diagnostic(
+                code="T002",
+                severity=Severity.INFO,
+                message=(
+                    "the dependency graph is cyclic; termination is still "
+                    "guaranteed (weakly acyclic rules), but the fix-point "
+                    "may need several propagation rounds"
+                ),
+            )
+        )
+    return diagnostics
+
+
+# ------------------------------------------------------------ S: rule safety
+
+
+def check_safety(rules: Sequence[CoordinationRule]) -> list[Diagnostic]:
+    """``S001`` — fully existential head; ``S002`` — duplicate rule id."""
+    diagnostics: list[Diagnostic] = []
+    seen: dict[str, CoordinationRule] = {}
+    for rule in rules:
+        if not rule.distinguished_variables and rule.head.variables:
+            diagnostics.append(
+                Diagnostic(
+                    code="S001",
+                    severity=Severity.WARNING,
+                    message=(
+                        "no head variable is bound by the body: every body "
+                        "match materialises a tuple of fresh labelled nulls "
+                        f"at {rule.target!r}, which is almost never intended"
+                    ),
+                    rule_id=rule.rule_id,
+                    node=rule.target,
+                    suggestion=(
+                        "export at least one body variable through the head"
+                    ),
+                )
+            )
+        if rule.rule_id in seen:
+            diagnostics.append(
+                Diagnostic(
+                    code="S002",
+                    severity=Severity.ERROR,
+                    message=(
+                        "duplicate rule id: already used by "
+                        f"{seen[rule.rule_id]!s}; the registry requires "
+                        "globally unique ids (Definition 8)"
+                    ),
+                    rule_id=rule.rule_id,
+                    node=rule.target,
+                    suggestion="rename one of the two rules",
+                )
+            )
+        else:
+            seen[rule.rule_id] = rule
+    return diagnostics
+
+
+# ----------------------------------------------------- C: schema consistency
+
+
+def _check_atom(
+    schemas: SchemaMap,
+    rule_id: str,
+    node: NodeId,
+    relation: str,
+    arity: int,
+    role: str,
+) -> list[Diagnostic]:
+    """Shared C001/C002/C003/C004 logic for one head or body atom."""
+    if node not in schemas:
+        return [
+            Diagnostic(
+                code="C001",
+                severity=Severity.ERROR,
+                message=(
+                    f"{role} refers to peer {node!r}, which declares no "
+                    "schema in this scenario"
+                ),
+                rule_id=rule_id,
+                node=node,
+                suggestion="declare the peer (with its relations) in the spec",
+            )
+        ]
+    schema = schemas[node]
+    if relation not in schema:
+        code = "C002" if role == "head" else "C003"
+        declared = ", ".join(schema.relation_names) or "none"
+        return [
+            Diagnostic(
+                code=code,
+                severity=Severity.ERROR,
+                message=(
+                    f"{role} relation {relation!r} is not declared at peer "
+                    f"{node!r} (declared: {declared})"
+                ),
+                rule_id=rule_id,
+                node=node,
+                suggestion=f"add {relation!r} to the peer's schema or fix the atom",
+            )
+        ]
+    declared_arity = schema.get(relation).arity
+    if arity != declared_arity:
+        return [
+            Diagnostic(
+                code="C004",
+                severity=Severity.ERROR,
+                message=(
+                    f"{role} atom {relation}/{arity} does not match the "
+                    f"declared arity {declared_arity} at peer {node!r}"
+                ),
+                rule_id=rule_id,
+                node=node,
+                suggestion="make the atom's term count match the schema",
+            )
+        ]
+    return []
+
+
+def check_schemas(
+    schemas: SchemaMap, rules: Sequence[CoordinationRule]
+) -> list[Diagnostic]:
+    """``C001``–``C004`` — every atom against the peers' declared schemas."""
+    diagnostics: list[Diagnostic] = []
+    for rule in rules:
+        diagnostics.extend(
+            _check_atom(
+                schemas,
+                rule.rule_id,
+                rule.target,
+                rule.head.relation,
+                rule.head.arity,
+                "head",
+            )
+        )
+        checked: set[tuple[NodeId, str, int]] = set()
+        for node, atom in rule.body:
+            signature = (node, atom.relation, atom.arity)
+            if signature in checked:
+                continue
+            checked.add(signature)
+            diagnostics.extend(
+                _check_atom(
+                    schemas,
+                    rule.rule_id,
+                    node,
+                    atom.relation,
+                    atom.arity,
+                    "body",
+                )
+            )
+    return diagnostics
+
+
+def check_data(schemas: SchemaMap, data: DataMap) -> list[Diagnostic]:
+    """``C005`` — initial rows against the declared schemas."""
+    diagnostics: list[Diagnostic] = []
+    for node, relations in data.items():
+        if node not in schemas:
+            diagnostics.append(
+                Diagnostic(
+                    code="C005",
+                    severity=Severity.ERROR,
+                    message=(
+                        "initial data targets an undeclared peer "
+                        f"({len(relations)} relation(s))"
+                    ),
+                    node=node,
+                    suggestion="declare the peer in the spec's schemas",
+                )
+            )
+            continue
+        schema = schemas[node]
+        for relation, rows in relations.items():
+            if relation not in schema:
+                diagnostics.append(
+                    Diagnostic(
+                        code="C005",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"initial data targets relation {relation!r}, "
+                            f"which peer {node!r} does not declare"
+                        ),
+                        node=node,
+                        suggestion="declare the relation or move the rows",
+                    )
+                )
+                continue
+            expected = schema.get(relation).arity
+            bad = [row for row in rows if len(row) != expected]
+            if bad:
+                diagnostics.append(
+                    Diagnostic(
+                        code="C005",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"{len(bad)} initial row(s) in {relation!r} have "
+                            f"the wrong arity (expected {expected}, e.g. "
+                            f"{bad[0]!r})"
+                        ),
+                        node=node,
+                        suggestion="fix the row shape to match the schema",
+                    )
+                )
+    return diagnostics
+
+
+# --------------------------------------------------------- R: reachability
+
+
+def check_reachability(
+    schemas: SchemaMap,
+    rules: Sequence[CoordinationRule],
+    data: DataMap,
+) -> list[Diagnostic]:
+    """``R001`` — rules that can never fire; ``R002`` — isolated peers.
+
+    A relation is *possibly non-empty* when it holds initial rows or is the
+    head of a rule whose body relations are all possibly non-empty; the
+    least fix-point of that rule marks every relation that could ever gain a
+    tuple.  A rule reading a provably-forever-empty relation can never fire.
+    """
+    diagnostics: list[Diagnostic] = []
+    populated: set[tuple[NodeId, str]] = {
+        (node, relation)
+        for node, relations in data.items()
+        for relation, rows in relations.items()
+        if rows
+    }
+    pending = [
+        rule
+        for rule in rules
+        if rule.target in schemas
+        and all(node in schemas for node, _atom in rule.body)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for rule in pending:
+            head_key = (rule.target, rule.head.relation)
+            if head_key in populated:
+                continue
+            if all(
+                (node, atom.relation) in populated for node, atom in rule.body
+            ):
+                populated.add(head_key)
+                changed = True
+    for rule in pending:
+        empty = sorted(
+            {
+                f"{atom.relation}@{node}"
+                for node, atom in rule.body
+                if (node, atom.relation) not in populated
+            }
+        )
+        if empty:
+            diagnostics.append(
+                Diagnostic(
+                    code="R001",
+                    severity=Severity.WARNING,
+                    message=(
+                        "rule can never fire: body relation(s) "
+                        f"{', '.join(empty)} hold no initial rows and no rule "
+                        "ever derives into them"
+                    ),
+                    rule_id=rule.rule_id,
+                    node=rule.target,
+                    suggestion=(
+                        "load initial data, add a feeding rule, or drop the "
+                        "dead rule"
+                    ),
+                )
+            )
+    mentioned: set[NodeId] = set()
+    for rule in rules:
+        mentioned.add(rule.target)
+        mentioned.update(rule.sources)
+    for node in sorted(set(schemas) - mentioned):
+        if len(schemas) > 1:
+            diagnostics.append(
+                Diagnostic(
+                    code="R002",
+                    severity=Severity.INFO,
+                    message=(
+                        "peer participates in no coordination rule; it will "
+                        "neither import nor export data"
+                    ),
+                    node=node,
+                )
+            )
+    return diagnostics
+
+
+# -------------------------------------------------------- P: shard planning
+
+
+def check_shard_plan(
+    schemas: SchemaMap,
+    rules: Sequence[CoordinationRule],
+    shards: int | None,
+    *,
+    cut_threshold: float = 0.5,
+) -> list[Diagnostic]:
+    """``P001`` — the planned cross-shard cut exceeds ``cut_threshold``.
+
+    Only meaningful when the spec asks for a partitioned run (``shards``
+    set); every cut rule edge becomes inter-shard traffic at run time, so a
+    plan cutting most edges forfeits the locality the planner exists for.
+    """
+    if not shards or shards <= 1 or not rules:
+        return []
+    nodes = set(schemas)
+    for rule in rules:
+        nodes.add(rule.target)
+        nodes.update(rule.sources)
+    plan = ShardPlanner(shards).plan_rules(rules, nodes)
+    fraction = plan.cut_fraction()
+    if fraction <= cut_threshold:
+        return []
+    return [
+        Diagnostic(
+            code="P001",
+            severity=Severity.WARNING,
+            message=(
+                f"the {plan.shard_count}-shard plan cuts "
+                f"{len(plan.cut_edges())} of {len(plan.edges)} rule edges "
+                f"({fraction:.0%} > {cut_threshold:.0%}): most coordination "
+                "traffic will cross shard boundaries"
+            ),
+            suggestion=(
+                "use fewer shards, or restructure the topology so chatty "
+                "peers can be co-located"
+            ),
+        )
+    ]

@@ -1,0 +1,142 @@
+"""Diagnostic records and the analysis report.
+
+Diagnostics follow the shape familiar from ruff/flake8: a short stable code
+(``T001``, ``C004``, ...), a severity, a location (rule id and/or peer) and a
+one-line message, plus an optional suggestion line telling the author how to
+fix the network.  :class:`AnalysisReport` aggregates the diagnostics of one
+:func:`~repro.analysis.analyzer.analyze` run and renders them for terminals
+(the ``lint`` CLI) and errors (the :class:`~repro.api.session.Session`
+pre-flight gate).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` means the run is provably broken (it cannot terminate, or it
+    would crash on a schema mismatch) — the pre-flight gate refuses to run.
+    ``WARNING`` flags probable mistakes that still execute; ``INFO`` is
+    advisory only.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    ``code`` is the stable identifier documented in ``docs/analysis.md``;
+    ``rule_id`` and ``node`` locate the finding when it is attached to a
+    specific rule and/or peer (either may be ``None`` for network-level
+    findings); ``suggestion`` is an optional actionable fix.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    rule_id: str | None = None
+    node: str | None = None
+    suggestion: str | None = None
+
+    @property
+    def location(self) -> str:
+        """A compact rendering of where the finding is anchored."""
+        parts = []
+        if self.rule_id is not None:
+            parts.append(f"rule {self.rule_id!r}")
+        if self.node is not None:
+            parts.append(f"peer {self.node!r}")
+        return ", ".join(parts) if parts else "network"
+
+    def render(self) -> str:
+        """The one-line (plus optional suggestion) terminal form."""
+        line = f"{self.code} [{self.severity}] {self.location}: {self.message}"
+        if self.suggestion:
+            line += f"\n     fix: {self.suggestion}"
+        return line
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Every diagnostic one analysis pass produced, with aggregate views."""
+
+    scenario: str
+    diagnostics: tuple[Diagnostic, ...] = field(default=())
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        """The diagnostics of one severity, in emission order."""
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        """Findings that make the network unsafe to run."""
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        """Probable mistakes that still execute."""
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        """Advisory findings."""
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when the network has no error-level findings."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when the network has no findings at all."""
+        return not self.diagnostics
+
+    def codes(self, severity: Severity | None = None) -> tuple[str, ...]:
+        """The distinct diagnostic codes present, sorted.
+
+        ``severity`` restricts the view to one level when given.
+        """
+        found = (
+            self.diagnostics
+            if severity is None
+            else self.by_severity(severity)
+        )
+        return tuple(sorted({d.code for d in found}))
+
+    def render(self) -> str:
+        """The multi-line terminal rendering the ``lint`` CLI prints."""
+        header = f"analysis of {self.scenario!r}:"
+        if self.clean:
+            return f"{header} clean"
+        lines = [header]
+        lines.extend(f"  {d.render()}" for d in self.diagnostics)
+        lines.append(
+            f"  {len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

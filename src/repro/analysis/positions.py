@@ -1,0 +1,216 @@
+"""The position-level dependency graph and the weak-acyclicity test.
+
+Termination of the chase — and therefore of the paper's update fix-point over
+rules with existential head variables — is undecidable in general, but the
+*weak acyclicity* criterion of Fagin, Kolaitis, Miller and Popa ("Data
+Exchange: Semantics and Query Answering") is a sound, widely used sufficient
+condition, and it is exactly the right granularity for coordination rules:
+
+* the graph's nodes are **positions** — (peer, relation, column index) —
+  because a labelled null invented at one position can only ever travel to
+  positions downstream of it;
+* a **regular edge** ``p → q`` records that a value read from position ``p``
+  by some rule body is copied to head position ``q``;
+* a **special edge** ``p ⇒ q'`` records that reading position ``p`` makes the
+  rule invent a *fresh* labelled null at existential head position ``q'``.
+
+A cycle through a special edge means new nulls can feed the very positions
+that triggered their invention — the chase may diverge (this repo's
+pathological ``item(X, Y) -> item(Y, Z)`` two-peer cycle runs for >20 minutes
+before A6's projection check finally closes it).  No such cycle — *weak
+acyclicity* — guarantees the fix-point terminates in polynomially many chase
+steps, whatever the data.
+
+The check is static and cheap: building the graph is linear in the total size
+of the rules, and the cycle test is one strongly-connected-components pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.coordination.rule import CoordinationRule, NodeId
+from repro.database.query import Variable
+
+#: One position: (peer, relation name, 0-based column index).
+Position = tuple[NodeId, str, int]
+
+
+@dataclass(frozen=True)
+class PositionEdge:
+    """One edge of the position graph, labelled with the rule that adds it."""
+
+    source: Position
+    target: Position
+    special: bool
+    rule_id: str
+
+
+@dataclass(frozen=True)
+class PositionGraph:
+    """The position-level dependency graph of a coordination-rule set."""
+
+    positions: frozenset[Position]
+    edges: tuple[PositionEdge, ...] = field(default=())
+
+    def successors(self) -> dict[Position, list[PositionEdge]]:
+        """Adjacency view: position → outgoing edges."""
+        adjacency: dict[Position, list[PositionEdge]] = {}
+        for edge in self.edges:
+            adjacency.setdefault(edge.source, []).append(edge)
+        return adjacency
+
+    @property
+    def special_edges(self) -> tuple[PositionEdge, ...]:
+        """The existential (null-inventing) edges only."""
+        return tuple(edge for edge in self.edges if edge.special)
+
+    def __repr__(self) -> str:
+        return (
+            f"PositionGraph({len(self.positions)} positions, "
+            f"{len(self.edges)} edges, {len(self.special_edges)} special)"
+        )
+
+
+def _variable_positions(
+    rule: CoordinationRule,
+) -> dict[Variable, list[Position]]:
+    """Body positions of every variable of ``rule``, in occurrence order."""
+    occurrences: dict[Variable, list[Position]] = {}
+    for source_node, atom in rule.body:
+        for index, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                position = (source_node, atom.relation, index)
+                occurrences.setdefault(term, []).append(position)
+    return occurrences
+
+
+def build_position_graph(rules: Iterable[CoordinationRule]) -> PositionGraph:
+    """The position graph of ``rules`` (regular + special edges).
+
+    Following the standard construction: for every rule and every variable
+    ``x`` occurring both in the body (at position ``p``) and in the head (at
+    position ``q``), add a regular edge ``p → q``; additionally, for every
+    such exported ``x`` and every *existential* head variable ``y`` (at
+    position ``q'``), add a special edge ``p → q'`` — the binding of ``x`` is
+    what triggers inventing a fresh null at ``q'``.
+    """
+    positions: set[Position] = set()
+    edges: list[PositionEdge] = []
+    for rule in rules:
+        occurrences = _variable_positions(rule)
+        positions.update(
+            position
+            for variable_positions in occurrences.values()
+            for position in variable_positions
+        )
+        head = rule.head
+        head_positions: dict[Variable, list[Position]] = {}
+        for index, term in enumerate(head.terms):
+            if isinstance(term, Variable):
+                position = (rule.target, head.relation, index)
+                positions.add(position)
+                head_positions.setdefault(term, []).append(position)
+        existentials = set(rule.existential_variables)
+        existential_targets = [
+            position
+            for variable, variable_positions in head_positions.items()
+            if variable in existentials
+            for position in variable_positions
+        ]
+        for variable, targets in head_positions.items():
+            if variable in existentials:
+                continue
+            for body_position in occurrences.get(variable, ()):
+                for head_position in targets:
+                    edges.append(
+                        PositionEdge(
+                            body_position, head_position, False, rule.rule_id
+                        )
+                    )
+                for head_position in existential_targets:
+                    edges.append(
+                        PositionEdge(
+                            body_position, head_position, True, rule.rule_id
+                        )
+                    )
+    return PositionGraph(frozenset(positions), tuple(edges))
+
+
+def _strongly_connected_components(
+    nodes: Iterable[Position],
+    adjacency: Mapping[Position, list[PositionEdge]],
+) -> dict[Position, int]:
+    """Tarjan's SCC algorithm, iteratively; returns position → component id."""
+    index_of: dict[Position, int] = {}
+    low: dict[Position, int] = {}
+    component: dict[Position, int] = {}
+    stack: list[Position] = []
+    on_stack: set[Position] = set()
+    counter = 0
+    components = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: list[tuple[Position, int]] = [(root, 0)]
+        while work:
+            node, edge_index = work[-1]
+            if edge_index == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            outgoing = adjacency.get(node, [])
+            advanced = False
+            while edge_index < len(outgoing):
+                successor = outgoing[edge_index].target
+                edge_index += 1
+                if successor not in index_of:
+                    work[-1] = (node, edge_index)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    low[node] = min(low[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index_of[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = components
+                    if member == node:
+                        break
+                components += 1
+            if work:
+                parent, _ = work[-1]
+                low[parent] = min(low[parent], low[node])
+    return component
+
+
+def existential_cycles(
+    rules: Iterable[CoordinationRule],
+) -> tuple[PositionEdge, ...]:
+    """The special edges lying on a cycle (empty iff weakly acyclic).
+
+    A special edge whose endpoints share a strongly connected component of
+    the position graph closes an existential cycle; the returned edges carry
+    the ids of the rules responsible, which is what the ``T001`` diagnostic
+    reports.
+    """
+    graph = build_position_graph(rules)
+    adjacency = graph.successors()
+    component = _strongly_connected_components(graph.positions, adjacency)
+    return tuple(
+        edge
+        for edge in graph.special_edges
+        if component.get(edge.source) == component.get(edge.target)
+    )
+
+
+def is_weakly_acyclic(rules: Iterable[CoordinationRule]) -> bool:
+    """True when the rule set is weakly acyclic (chase guaranteed to stop)."""
+    return not existential_cycles(rules)

@@ -19,6 +19,12 @@ The scaling engines (sharded, multiproc, pooled) live in
 :mod:`repro.sharding` and plug into the same protocol; ``Session`` selects
 them from the spec's ``transport``/``shards``/``pool`` knobs
 (``docs/engines.md`` is the guide).
+
+Every spec goes through the static pre-flight analyzer
+(:mod:`repro.analysis`) before :meth:`Session.from_spec
+<repro.api.session.Session.from_spec>` builds anything: error-level
+diagnostics raise, warnings ride along on the results (``check=False``
+opts out; ``docs/analysis.md`` lists the diagnostic codes).
 """
 
 from repro.api.engine import (
@@ -29,7 +35,7 @@ from repro.api.engine import (
     engine_for,
 )
 from repro.api.result import RunResult, diff_snapshots
-from repro.api.session import Session
+from repro.api.session import Session, preflight_enabled, set_default_preflight
 from repro.api.spec import NetworkBuilder, ScenarioSpec
 from repro.api.strategies import (
     UpdateStrategy,
@@ -47,6 +53,8 @@ __all__ = [
     "RunResult",
     "diff_snapshots",
     "Session",
+    "preflight_enabled",
+    "set_default_preflight",
     "NetworkBuilder",
     "ScenarioSpec",
     "UpdateStrategy",

@@ -30,18 +30,23 @@ guide.
 from __future__ import annotations
 
 import asyncio
-from typing import Iterable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
 
 from repro.coordination.rule import NodeId
 from repro.errors import ReproError
 from repro.network.transport import AsyncTransport, BaseTransport, SyncTransport
 from repro.stats.collector import StatsSnapshot
 
+if TYPE_CHECKING:
+    from repro.core.system import P2PSystem
+
 #: The two protocol phases of the paper (Section 3).
 PHASES = ("discovery", "update")
 
 
-def start_phase(system, phase: str, origins: Iterable[NodeId] | None) -> list[NodeId]:
+def start_phase(
+    system: P2PSystem, phase: str, origins: Iterable[NodeId] | None
+) -> list[NodeId]:
     """Kick off ``phase`` at its origin nodes and return the origins used.
 
     Discovery defaults to the super-peer initiating, as in the paper; the
@@ -60,7 +65,7 @@ def start_phase(system, phase: str, origins: Iterable[NodeId] | None) -> list[No
     return origin_list
 
 
-def finalize_phase(system, phase: str) -> None:
+def finalize_phase(system: P2PSystem, phase: str) -> None:
     """Post-quiescence bookkeeping (discovery finalises every ``Paths`` relation)."""
     if phase == "discovery":
         for node in system.nodes.values():
@@ -74,13 +79,13 @@ class ExecutionEngine(Protocol):
     name: str
 
     def run(
-        self, system, phase: str, origins: Iterable[NodeId] | None = None
+        self, system: P2PSystem, phase: str, origins: Iterable[NodeId] | None = None
     ) -> tuple[float, StatsSnapshot]:
         """Blocking run; returns (simulated completion time, stats snapshot)."""
         ...
 
     async def run_async(
-        self, system, phase: str, origins: Iterable[NodeId] | None = None
+        self, system: P2PSystem, phase: str, origins: Iterable[NodeId] | None = None
     ) -> tuple[float, StatsSnapshot]:
         """Awaitable run with the same semantics as :meth:`run`."""
         ...
@@ -91,7 +96,7 @@ class SyncEngine:
 
     name = "sync"
 
-    def _check(self, system) -> SyncTransport:
+    def _check(self, system: P2PSystem) -> SyncTransport:
         transport = system.transport
         if not isinstance(transport, SyncTransport):
             raise ReproError(
@@ -101,7 +106,7 @@ class SyncEngine:
         return transport
 
     def run(
-        self, system, phase: str, origins: Iterable[NodeId] | None = None
+        self, system: P2PSystem, phase: str, origins: Iterable[NodeId] | None = None
     ) -> tuple[float, StatsSnapshot]:
         transport = self._check(system)
         start_phase(system, phase, origins)
@@ -110,7 +115,7 @@ class SyncEngine:
         return completion, system.stats.snapshot()
 
     async def run_async(
-        self, system, phase: str, origins: Iterable[NodeId] | None = None
+        self, system: P2PSystem, phase: str, origins: Iterable[NodeId] | None = None
     ) -> tuple[float, StatsSnapshot]:
         return self.run(system, phase, origins)
 
@@ -120,7 +125,7 @@ class AsyncEngine:
 
     name = "async"
 
-    def _check(self, system) -> AsyncTransport:
+    def _check(self, system: P2PSystem) -> AsyncTransport:
         transport = system.transport
         if not isinstance(transport, AsyncTransport):
             raise ReproError(
@@ -130,7 +135,7 @@ class AsyncEngine:
         return transport
 
     def run(
-        self, system, phase: str, origins: Iterable[NodeId] | None = None
+        self, system: P2PSystem, phase: str, origins: Iterable[NodeId] | None = None
     ) -> tuple[float, StatsSnapshot]:
         self._check(system)
         try:
@@ -145,7 +150,7 @@ class AsyncEngine:
         return asyncio.run(self.run_async(system, phase, origins))
 
     async def run_async(
-        self, system, phase: str, origins: Iterable[NodeId] | None = None
+        self, system: P2PSystem, phase: str, origins: Iterable[NodeId] | None = None
     ) -> tuple[float, StatsSnapshot]:
         transport = self._check(system)
         start_phase(system, phase, origins)

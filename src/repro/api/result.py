@@ -22,7 +22,9 @@ from repro.stats.collector import StatsSnapshot
 Snapshot = Mapping[NodeId, Mapping[str, frozenset[Row]]]
 
 
-def diff_snapshots(before: Snapshot, after: Snapshot) -> dict[NodeId, dict[str, frozenset[Row]]]:
+def diff_snapshots(
+    before: Snapshot, after: Snapshot
+) -> dict[NodeId, dict[str, frozenset[Row]]]:
     """Per-node, per-relation rows present in ``after`` but not in ``before``."""
     deltas: dict[NodeId, dict[str, frozenset[Row]]] = {}
     for node_id, relations in after.items():
@@ -67,7 +69,9 @@ class RunResult:
     def tuples_added(self) -> int:
         """Total number of rows the run added across all nodes."""
         return sum(
-            len(rows) for relations in self.deltas.values() for rows in relations.values()
+            len(rows)
+            for relations in self.deltas.values()
+            for rows in relations.values()
         )
 
     @property

@@ -29,8 +29,10 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import replace
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
+from repro.analysis.analyzer import analyze
+from repro.analysis.diagnostics import AnalysisReport
 from repro.api.engine import ExecutionEngine, engine_for
 from repro.api.result import RunResult, diff_snapshots
 from repro.api.spec import ScenarioSpec
@@ -40,7 +42,29 @@ from repro.database.parser import parse_query
 from repro.database.query import ConjunctiveQuery
 from repro.database.relation import Row
 from repro.database.schema import DatabaseSchema
+from repro.errors import ReproError
 from repro.stats.collector import StatsSnapshot
+
+if TYPE_CHECKING:
+    from repro.core.system import P2PSystem
+
+#: Process-wide default for the pre-flight gate of :meth:`Session.from_spec`.
+#: The CLI's ``--no-preflight`` flag flips it for experiment runs, which
+#: build their sessions several layers below the argument parser.
+_DEFAULT_PREFLIGHT = True
+
+
+def set_default_preflight(enabled: bool) -> bool:
+    """Set the process-wide pre-flight default; returns the previous value."""
+    global _DEFAULT_PREFLIGHT
+    previous = _DEFAULT_PREFLIGHT
+    _DEFAULT_PREFLIGHT = bool(enabled)
+    return previous
+
+
+def preflight_enabled() -> bool:
+    """The current process-wide pre-flight default."""
+    return _DEFAULT_PREFLIGHT
 
 
 class Session:
@@ -51,16 +75,21 @@ class Session:
 
     def __init__(
         self,
-        system,
+        system: P2PSystem,
         *,
         spec: ScenarioSpec | None = None,
         engine: ExecutionEngine | None = None,
         strategy: str | None = None,
         capture_deltas: bool = True,
         cache_strategies: bool = True,
+        preflight: AnalysisReport | None = None,
     ):
         self.system = system
         self.spec = spec
+        # The static pre-flight report of the spec this session was opened
+        # on (None for sessions built around an existing system or with
+        # check=False); its warning codes ride along on every RunResult.
+        self.preflight = preflight
         self.engine = engine if engine is not None else engine_for(system.transport)
         self.default_strategy = (
             strategy
@@ -86,17 +115,39 @@ class Session:
     # ------------------------------------------------------------ construction
 
     @classmethod
-    def from_spec(cls, spec: ScenarioSpec, **settings) -> "Session":
+    def from_spec(
+        cls, spec: ScenarioSpec, *, check: bool | None = None, **settings: object
+    ) -> "Session":
         """Assemble the spec's system and open a session on it.
 
-        ``settings`` (e.g. ``capture_deltas=False``) are forwarded to the
-        :class:`Session` constructor.
+        Before anything is built the spec goes through the static pre-flight
+        analyzer (:func:`repro.analysis.analyze`): error-level diagnostics —
+        a non-terminating rule set, schema mismatches — raise
+        :class:`~repro.errors.ReproError` with the full report instead of
+        letting the run discover them the hard way; warnings are kept on
+        :attr:`Session.preflight` and tagged onto every
+        :class:`~repro.api.result.RunResult` as
+        ``extras["preflight_warnings"]``.  ``check=False`` skips the gate
+        (``check=None`` follows the process default, see
+        :func:`set_default_preflight`); ``settings`` (e.g.
+        ``capture_deltas=False``) are forwarded to the :class:`Session`
+        constructor.
         """
-        return cls(spec.build_system(), spec=spec, **settings)
+        if check is None:
+            check = _DEFAULT_PREFLIGHT
+        report: AnalysisReport | None = None
+        if check:
+            report = analyze(spec)
+            if not report.ok:
+                raise ReproError(
+                    "pre-flight analysis found error(s); fix the scenario or "
+                    f"pass check=False to run anyway\n{report.render()}"
+                )
+        return cls(spec.build_system(), spec=spec, preflight=report, **settings)
 
     #: Session.build settings consumed by the Session constructor; everything
     #: else goes to the ScenarioSpec.
-    _SESSION_SETTINGS = ("engine", "capture_deltas", "cache_strategies")
+    _SESSION_SETTINGS = ("engine", "capture_deltas", "cache_strategies", "check")
 
     @classmethod
     def build(
@@ -104,7 +155,7 @@ class Session:
         schemas: Mapping[NodeId, object],
         rules: Iterable[CoordinationRule | str] = (),
         data: Mapping[NodeId, Mapping[str, Iterable[Row]]] | None = None,
-        **settings,
+        **settings: object,
     ) -> "Session":
         """Build a session from loose parts (see :meth:`ScenarioSpec.of`).
 
@@ -120,7 +171,7 @@ class Session:
         )
 
     @classmethod
-    def of(cls, system, **kwargs) -> "Session":
+    def of(cls, system: P2PSystem, **kwargs: object) -> "Session":
         """Open a session around an already-assembled system."""
         return cls(system, **kwargs)
 
@@ -141,7 +192,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ state
@@ -190,15 +241,32 @@ class Session:
         else:
             after = self.system.databases()
             deltas = diff_snapshots(before, after)
-        return RunResult(
-            phase=phase,
-            strategy=None,
-            engine=self.engine.name,
-            completion_time=completion,
-            wall_seconds=time.perf_counter() - started,
-            stats=snapshot,
-            databases=after,
-            deltas=deltas,
+        return self._attach_preflight(
+            RunResult(
+                phase=phase,
+                strategy=None,
+                engine=self.engine.name,
+                completion_time=completion,
+                wall_seconds=time.perf_counter() - started,
+                stats=snapshot,
+                databases=after,
+                deltas=deltas,
+            )
+        )
+
+    def _attach_preflight(self, result: RunResult) -> RunResult:
+        """Tag the pre-flight warning codes onto a result (no-op when clean).
+
+        A clean pre-flight adds nothing, so results are bit-identical with
+        ``check=True`` and ``check=False`` — the parity the test-suite pins.
+        """
+        if self.preflight is None or not self.preflight.warnings:
+            return result
+        if "preflight_warnings" in result.extras:
+            return result
+        codes = tuple(d.code for d in self.preflight.warnings)
+        return replace(
+            result, extras={**result.extras, "preflight_warnings": codes}
         )
 
     def run(
@@ -233,7 +301,7 @@ class Session:
         strategy: str | None = None,
         *,
         origins: Iterable[NodeId] | None = None,
-        **options,
+        **options: object,
     ) -> RunResult:
         """Bring the network's data to a fix-point with the chosen strategy.
 
@@ -261,6 +329,7 @@ class Session:
         if result.strategy is None:
             # The distributed strategy delegates to run(); tag its origin.
             result = replace(result, strategy=name)
+        result = self._attach_preflight(result)
         if key is not None:
             self._cache_misses += 1
             self._strategy_cache[key] = result
@@ -270,7 +339,12 @@ class Session:
 
     # ------------------------------------------------------- strategy caching
 
-    def _strategy_cache_key(self, name: str, origins, options) -> tuple | None:
+    def _strategy_cache_key(
+        self,
+        name: str,
+        origins: Iterable[NodeId] | None,
+        options: Mapping[str, object],
+    ) -> tuple | None:
         """The memoization key, or None when the call must not be cached.
 
         Only reference strategies cache (the distributed strategy mutates the

@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.coordination.rule import CoordinationRule, NodeId, rule_from_text
 from repro.database.relation import Row
@@ -35,11 +35,27 @@ from repro.errors import ReproError
 from repro.network.latency import ConstantLatency, LatencyModel, UniformLatency
 from repro.network.transport import BaseTransport
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.api.session import Session
+    from repro.core.system import P2PSystem
+    from repro.workloads.topologies import TopologySpec
+
 #: Format tag written into dumped scenario files.
 _SPEC_FORMAT = "repro-scenario/1"
 
 
-def _coerce_schema(schema) -> DatabaseSchema:
+#: What :meth:`ScenarioSpec.of` accepts per node before schema coercion.
+SchemaInput = DatabaseSchema | RelationSchema | Iterable[RelationSchema]
+
+
+def _transport_label(transport: str | BaseTransport) -> str:
+    """How error messages name the spec's transport setting."""
+    if isinstance(transport, str):
+        return transport
+    return repr(type(transport).__name__)
+
+
+def _coerce_schema(schema: SchemaInput) -> DatabaseSchema:
     if isinstance(schema, DatabaseSchema):
         return schema
     if isinstance(schema, RelationSchema):
@@ -126,10 +142,10 @@ class ScenarioSpec:
     @classmethod
     def of(
         cls,
-        schemas: Mapping[NodeId, DatabaseSchema | RelationSchema | Iterable[RelationSchema]],
+        schemas: Mapping[NodeId, SchemaInput],
         rules: Iterable[CoordinationRule | str] = (),
         data: Mapping[NodeId, Mapping[str, Iterable[Row]]] | None = None,
-        **settings,
+        **settings: object,
     ) -> "ScenarioSpec":
         """Build a spec from loosely-typed parts (schema lists, rule strings)."""
         return cls(
@@ -145,13 +161,13 @@ class ScenarioSpec:
     @classmethod
     def from_topology(
         cls,
-        topology,
+        topology: TopologySpec,
         *,
         records_per_node: int = 100,
         overlap_probability: float = 0.0,
         overlap_fraction: float = 0.5,
         seed: int = 0,
-        **settings,
+        **settings: object,
     ) -> "ScenarioSpec":
         """The paper's DBLP sharing workload over a topology, as a spec."""
         from repro.workloads.scenarios import dblp_workload_parts
@@ -176,7 +192,7 @@ class ScenarioSpec:
             **settings,
         )
 
-    def with_(self, **changes) -> "ScenarioSpec":
+    def with_(self, **changes: object) -> "ScenarioSpec":
         """A copy of the spec with some settings replaced."""
         return replace(self, **changes)
 
@@ -305,7 +321,7 @@ class ScenarioSpec:
             for rows in relations.values()
         )
 
-    def build_system(self):
+    def build_system(self) -> P2PSystem:
         """Assemble the spec into a fresh :class:`~repro.core.system.P2PSystem`.
 
         A spec is replayable — each call builds an independent system — except
@@ -327,8 +343,8 @@ class ScenarioSpec:
                 transport = "sharded"
             elif transport not in ("sharded", "multiproc", "pooled", "socket"):
                 raise ReproError(
-                    f"shards={self.shards} needs a partitioned transport, but the "
-                    f"spec selects {transport if isinstance(transport, str) else type(transport).__name__!r}; "
+                    f"shards={self.shards} needs a partitioned transport, but "
+                    f"the spec selects {_transport_label(transport)}; "
                     "drop the shards setting or use "
                     "transport='sharded'/'multiproc'/'pooled'/'socket'"
                 )
@@ -339,8 +355,8 @@ class ScenarioSpec:
             # already satisfies the flag; everything else cannot pool.
             if not isinstance(transport, MultiprocTransport):
                 raise ReproError(
-                    f"pool=True needs the multiproc or socket transport, but the "
-                    f"spec selects {transport if isinstance(transport, str) else type(transport).__name__!r}; "
+                    f"pool=True needs the multiproc or socket transport, but "
+                    f"the spec selects {_transport_label(transport)}; "
                     "use transport='multiproc'/'pooled'/'socket' with the pool flag"
                 )
         if self.hosts and transport != "socket":
@@ -348,7 +364,7 @@ class ScenarioSpec:
             # only make sense when the spec builds the transport itself.
             raise ReproError(
                 f"hosts= needs transport='socket', but the spec selects "
-                f"{transport if isinstance(transport, str) else type(transport).__name__!r}"
+                f"{_transport_label(transport)}"
             )
         return P2PSystem.build(
             self.schemas,
@@ -503,7 +519,7 @@ class NetworkBuilder:
             **self._settings,
         )
 
-    def session(self):
+    def session(self) -> "Session":
         """Build the spec and open a :class:`~repro.api.session.Session` on it."""
         from repro.api.session import Session
 

@@ -27,9 +27,9 @@ registry is what the CLI's ``--strategy`` flag is wired through.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
 
-from repro.api.result import RunResult, diff_snapshots
+from repro.api.result import RunResult, Snapshot, diff_snapshots
 from repro.baselines.acyclic import acyclic_update
 from repro.baselines.centralized import centralized_update
 from repro.baselines.querytime import fetch_closure
@@ -39,6 +39,9 @@ from repro.database.query import ConjunctiveQuery
 from repro.errors import ReproError
 from repro.stats.collector import StatisticsCollector
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session imports us)
+    from repro.api.session import Session
+
 
 @runtime_checkable
 class UpdateStrategy(Protocol):
@@ -47,7 +50,11 @@ class UpdateStrategy(Protocol):
     name: str
 
     def run(
-        self, session, *, origins: Iterable[NodeId] | None = None, **options
+        self,
+        session: Session,
+        *,
+        origins: Iterable[NodeId] | None = None,
+        **options: object,
     ) -> RunResult:
         """Execute the strategy for ``session`` and report a uniform result."""
         ...
@@ -58,7 +65,13 @@ class DistributedStrategy:
 
     name = "distributed"
 
-    def run(self, session, *, origins=None, **options) -> RunResult:
+    def run(
+        self,
+        session: Session,
+        *,
+        origins: Iterable[NodeId] | None = None,
+        **options: object,
+    ) -> RunResult:
         if options:
             raise ReproError(
                 f"the distributed strategy takes no options, got {sorted(options)}"
@@ -67,9 +80,9 @@ class DistributedStrategy:
 
 
 def _reference_result(
-    before,
+    before: Snapshot,
     strategy_name: str,
-    after,
+    after: Snapshot,
     started: float,
     extras: dict[str, object],
 ) -> RunResult:
@@ -104,13 +117,13 @@ class CentralizedStrategy:
 
     def run(
         self,
-        session,
+        session: Session,
         *,
-        origins=None,
+        origins: Iterable[NodeId] | None = None,
         max_rounds: int = 10_000,
         node: NodeId | None = None,
         query: ConjunctiveQuery | str | None = None,
-        **options,
+        **options: object,
     ) -> RunResult:
         if options:
             raise ReproError(
@@ -148,7 +161,14 @@ class AcyclicStrategy:
 
     name = "acyclic"
 
-    def run(self, session, *, origins=None, force: bool = False, **options) -> RunResult:
+    def run(
+        self,
+        session: Session,
+        *,
+        origins: Iterable[NodeId] | None = None,
+        force: bool = False,
+        **options: object,
+    ) -> RunResult:
         if options:
             raise ReproError(
                 f"the acyclic strategy understands force only, got {sorted(options)}"
@@ -182,13 +202,13 @@ class QueryTimeStrategy:
 
     def run(
         self,
-        session,
+        session: Session,
         *,
-        origins=None,
+        origins: Iterable[NodeId] | None = None,
         node: NodeId | None = None,
         query: ConjunctiveQuery | str | None = None,
         max_rounds: int = 10_000,
-        **options,
+        **options: object,
     ) -> RunResult:
         if options:
             raise ReproError(
@@ -240,7 +260,9 @@ class QueryTimeStrategy:
 _REGISTRY: dict[str, UpdateStrategy] = {}
 
 
-def register_strategy(strategy: UpdateStrategy, *, replace: bool = False) -> UpdateStrategy:
+def register_strategy(
+    strategy: UpdateStrategy, *, replace: bool = False
+) -> UpdateStrategy:
     """Add ``strategy`` to the registry under its ``name``.
 
     Re-registering an existing name needs ``replace=True``; the function

@@ -49,7 +49,9 @@ class CentralizedResult:
         return {node_id: db.facts() for node_id, db in self.databases.items()}
 
 
-def _build_databases(schemas: SchemaSpec, data: DataSpec | None) -> dict[NodeId, LocalDatabase]:
+def _build_databases(
+    schemas: SchemaSpec, data: DataSpec | None
+) -> dict[NodeId, LocalDatabase]:
     databases: dict[NodeId, LocalDatabase] = {}
     for node_id, schema in schemas.items():
         if not isinstance(schema, DatabaseSchema):

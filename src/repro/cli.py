@@ -7,6 +7,12 @@ the same table the corresponding module's ``main()`` produces, and
 strategy registered in :mod:`repro.api.strategies`.  The CLI is a thin veneer
 over :mod:`repro.experiments`, so scripted runs (benchmarks, CI, notebooks)
 and interactive runs share exactly the same code paths.
+
+``python -m repro lint scenario.json`` statically analyzes scenario files
+(termination, safety, schema consistency — the checks of
+:mod:`repro.analysis`, codes in ``docs/analysis.md``) without running
+anything; ``run --no-preflight`` disables the same analyzer where it gates
+experiment sessions.
 """
 
 from __future__ import annotations
@@ -209,13 +215,72 @@ def build_parser() -> argparse.ArgumentParser:
         "runs hundreds of nodes, so it stays small independently of --records)",
     )
 
+    run_parser.add_argument(
+        "--no-preflight",
+        dest="preflight",
+        action="store_false",
+        help=(
+            "skip the static pre-flight analysis that gates every session "
+            "built from a scenario spec (see 'repro lint')"
+        ),
+    )
+
     run_all = subparsers.add_parser("run-all", help="run every experiment in order")
     run_all.add_argument("--records", type=int, default=20)
     run_all.add_argument("--limit", type=int, default=20)
     run_all.add_argument(
         "--strategy", choices=available_strategies(), default="distributed"
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically analyze scenario JSON files without running them",
+    )
+    lint_parser.add_argument(
+        "scenarios",
+        nargs="+",
+        help="scenario spec files (the JSON format of ScenarioSpec.dump_json)",
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (errors always fail)",
+    )
+    lint_parser.add_argument(
+        "--cut-threshold",
+        type=float,
+        default=0.5,
+        help=(
+            "cross-shard cut fraction above which the P001 advisory fires "
+            "for sharded specs (default 0.5)"
+        ),
+    )
     return parser
+
+
+def lint_scenarios(
+    scenarios: list[str], *, strict: bool = False, cut_threshold: float = 0.5
+) -> int:
+    """Analyze scenario files; returns the process exit code.
+
+    Exit 0 when every file is free of errors (and of warnings under
+    ``--strict``); exit 1 otherwise.  Unreadable or unparsable files count
+    as failures, not crashes, so CI can lint a whole directory in one call.
+    """
+    from repro.analysis import analyze
+
+    failed = False
+    for scenario in scenarios:
+        try:
+            report = analyze(scenario, cut_threshold=cut_threshold)
+        except (OSError, ReproError) as error:
+            print(f"{scenario}: error: {error}", file=sys.stderr)
+            failed = True
+            continue
+        print(f"{scenario}: {report.render()}")
+        if not report.ok or (strict and report.warnings):
+            failed = True
+    return 1 if failed else 0
 
 
 def list_experiments() -> str:
@@ -239,7 +304,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         list_experiments()
         return 0
+    if args.command == "lint":
+        return lint_scenarios(
+            args.scenarios,
+            strict=args.strict,
+            cut_threshold=args.cut_threshold,
+        )
     if args.command == "run":
+        if not getattr(args, "preflight", True):
+            from repro.api.session import set_default_preflight
+
+            set_default_preflight(False)
         if args.strategy != "distributed" and args.experiment not in (
             "E3",
             "E4",

@@ -92,7 +92,9 @@ class NetworkChange:
         self.operations.append(AddLink(rule))
         return self
 
-    def delete_link(self, target: NodeId, source: NodeId, rule_id: str) -> "NetworkChange":
+    def delete_link(
+        self, target: NodeId, source: NodeId, rule_id: str
+    ) -> "NetworkChange":
         """Append a ``deleteLink`` operation (returns self for chaining)."""
         self.operations.append(DeleteLink(target, source, rule_id))
         return self
@@ -214,7 +216,8 @@ def is_sound_answer(measured: Snapshot, envelope: Snapshot) -> bool:
     for node_id, relations in measured.items():
         reference = envelope.get(node_id, {})
         for relation_name, rows in relations.items():
-            if not _ground_rows(rows) <= _ground_rows(reference.get(relation_name, frozenset())):
+            allowed = _ground_rows(reference.get(relation_name, frozenset()))
+            if not _ground_rows(rows) <= allowed:
                 return False
     return True
 
@@ -224,7 +227,8 @@ def is_complete_answer(measured: Snapshot, envelope: Snapshot) -> bool:
     for node_id, relations in envelope.items():
         observed = measured.get(node_id, {})
         for relation_name, rows in relations.items():
-            if not _ground_rows(rows) <= _ground_rows(observed.get(relation_name, frozenset())):
+            required = _ground_rows(observed.get(relation_name, frozenset()))
+            if not _ground_rows(rows) <= required:
                 return False
     return True
 

@@ -93,10 +93,17 @@ class PeerNode:
 
     # -------------------------------------------------------------- messaging
 
-    def send(self, recipient: NodeId, message_type: MessageType, payload: Mapping) -> None:
+    def send(
+        self, recipient: NodeId, message_type: MessageType, payload: Mapping
+    ) -> None:
         """Send one protocol message through the transport."""
         self.transport.send(
-            Message(sender=self.node_id, recipient=recipient, type=message_type, payload=dict(payload))
+            Message(
+                sender=self.node_id,
+                recipient=recipient,
+                type=message_type,
+                payload=dict(payload),
+            )
         )
 
     def handle(self, message: Message) -> None:

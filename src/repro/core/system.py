@@ -277,7 +277,9 @@ class P2PSystem:
         from repro.api.engine import AsyncEngine
 
         self._deprecated("run_discovery_async", 'Session.run_async("discovery")')
-        _completion, snapshot = await AsyncEngine().run_async(self, "discovery", origins)
+        _completion, snapshot = await AsyncEngine().run_async(
+            self, "discovery", origins
+        )
         return snapshot
 
     async def run_global_update_async(

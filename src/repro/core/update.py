@@ -143,7 +143,9 @@ def join_fragments(
 _UNBOUND = object()
 
 
-def _comparisons_hold(rule: CoordinationRule, binding: Mapping[Variable, object]) -> bool:
+def _comparisons_hold(
+    rule: CoordinationRule, binding: Mapping[Variable, object]
+) -> bool:
     """Check the rule's built-in predicates against a complete binding."""
     for comparison in rule.comparisons:
         operands = []

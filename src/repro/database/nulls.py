@@ -69,7 +69,9 @@ class SkolemFactory:
         to the concrete values they take in the current firing.  Only the
         binding content matters, not its ordering.
         """
-        key_parts = [f"{name}={_render(value)}" for name, value in sorted(binding.items())]
+        key_parts = [
+            f"{name}={_render(value)}" for name, value in sorted(binding.items())
+        ]
         label = f"{rule_id}/{variable}({','.join(key_parts)})"
         null = self._cache.get(label)
         if null is None:

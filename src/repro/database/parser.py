@@ -129,7 +129,9 @@ def _parse_literal(text: str) -> tuple[str | None, Atom] | Comparison:
     operator = match.group("op")
     if operator not in COMPARISON_OPERATORS:
         raise QueryError(f"unsupported operator in literal {text!r}")
-    return Comparison(operator, _parse_term(match.group("left")), _parse_term(match.group("right")))
+    return Comparison(
+        operator, _parse_term(match.group("left")), _parse_term(match.group("right"))
+    )
 
 
 def parse_query(text: str) -> ConjunctiveQuery:

@@ -22,7 +22,11 @@ from repro.core.dynamics import NetworkChange, apply_change_operation
 from repro.experiments.runner import run_dblp_update
 from repro.stats.report import format_table
 from repro.workloads.scenarios import build_dblp_network
-from repro.workloads.topologies import clique_topology, coordination_rules_for, tree_topology
+from repro.workloads.topologies import (
+    clique_topology,
+    coordination_rules_for,
+    tree_topology,
+)
 
 
 @dataclass(frozen=True)

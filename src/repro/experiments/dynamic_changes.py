@@ -27,7 +27,11 @@ from repro.core.dynamics import (
 from repro.core.fixpoint import all_nodes_closed
 from repro.stats.report import format_table
 from repro.workloads.scenarios import build_dblp_network
-from repro.workloads.topologies import TopologySpec, coordination_rules_for, tree_topology
+from repro.workloads.topologies import (
+    TopologySpec,
+    coordination_rules_for,
+    tree_topology,
+)
 
 
 @dataclass(frozen=True)

@@ -46,7 +46,9 @@ def tree_specs(sizes: Sequence[int]) -> list[TopologySpec]:
     return specs
 
 
-def layered_specs(sizes: Sequence[int], width: int = 3, seed: int = 0) -> list[TopologySpec]:
+def layered_specs(
+    sizes: Sequence[int], width: int = 3, seed: int = 0
+) -> list[TopologySpec]:
     """Layered acyclic graphs of the requested (approximate) sizes."""
     specs = []
     for size in sizes:

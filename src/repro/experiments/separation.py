@@ -19,7 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines.centralized import centralized_update
-from repro.core.dynamics import NetworkChange, apply_change_operation, is_separated_under_change
+from repro.core.dynamics import (
+    NetworkChange,
+    apply_change_operation,
+    is_separated_under_change,
+)
 from repro.core.fixpoint import ground_part
 from repro.core.system import P2PSystem
 from repro.stats.report import format_table

@@ -60,7 +60,11 @@ class PerHopLatency:
     different link cost, or to model a slow peer.
     """
 
-    def __init__(self, base: float = 1.0, overrides: dict[tuple[str, str], float] | None = None):
+    def __init__(
+        self,
+        base: float = 1.0,
+        overrides: dict[tuple[str, str], float] | None = None,
+    ):
         if base < 0:
             raise ValueError("latency must be non-negative")
         self.base = base

@@ -97,7 +97,10 @@ class BaseTransport:
             # dynamic-network semantics of Section 4 allows dropping it.
             return
         self.stats.record_message(
-            message.type.value, message.sender, message.recipient, message.size_estimate()
+            message.type.value,
+            message.sender,
+            message.recipient,
+            message.size_estimate(),
         )
         self.stats.advance_time(at_time)
         if self.trace_enabled:

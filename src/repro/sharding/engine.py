@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import replace
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.api.engine import finalize_phase, start_phase
 from repro.coordination.rule import NodeId
@@ -23,6 +23,9 @@ from repro.errors import ReproError
 from repro.sharding.planner import ShardPlanner
 from repro.sharding.transport import ShardedTransport
 from repro.stats.collector import ShardTrafficStats, StatsSnapshot
+
+if TYPE_CHECKING:
+    from repro.core.system import P2PSystem
 
 
 class ShardedEngine:
@@ -33,7 +36,7 @@ class ShardedEngine:
     def __init__(self, planner: ShardPlanner | None = None):
         self.planner = planner
 
-    def _check(self, system) -> ShardedTransport:
+    def _check(self, system: P2PSystem) -> ShardedTransport:
         transport = system.transport
         if not isinstance(transport, ShardedTransport):
             raise ReproError(
@@ -43,7 +46,7 @@ class ShardedEngine:
             )
         return transport
 
-    def _ensure_plan(self, system, transport: ShardedTransport) -> None:
+    def _ensure_plan(self, system: P2PSystem, transport: ShardedTransport) -> None:
         if transport.plan is not None:
             return
         planner = self.planner or ShardPlanner(transport.shard_count)

@@ -49,7 +49,7 @@ import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass, replace
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.coordination.rule import CoordinationRule, NodeId
 from repro.errors import NetworkError, ReproError
@@ -62,6 +62,9 @@ from repro.stats.collector import (
     StatisticsCollector,
     StatsSnapshot,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us)
+    from repro.core.system import P2PSystem
 
 #: Seconds the coordinator waits for a worker to come up / answer before the
 #: run is declared stuck.  Generous: a spawn re-imports the whole package.
@@ -111,7 +114,7 @@ class ShardWorld:
         )
 
 
-def _worlds_from_system(system, plan: ShardPlan) -> list[ShardWorld]:
+def _worlds_from_system(system: P2PSystem, plan: ShardPlan) -> list[ShardWorld]:
     """Slice a live coordinator system into one world per shard.
 
     Schemas and data are read from the *live* node databases (not the spec):
@@ -242,7 +245,7 @@ class _WorkerTransport(BaseTransport):
         }
 
 
-def _build_worker_system(world: ShardWorld, transport: _WorkerTransport):
+def _build_worker_system(world: ShardWorld, transport: _WorkerTransport) -> P2PSystem:
     from repro.core.system import P2PSystem
 
     system = P2PSystem(transport)
@@ -256,7 +259,9 @@ def _build_worker_system(world: ShardWorld, transport: _WorkerTransport):
     return system
 
 
-def _start_worker_phase(system, world: ShardWorld, phase: str, origins) -> None:
+def _start_worker_phase(
+    system: P2PSystem, world: ShardWorld, phase: str, origins: Iterable[NodeId]
+) -> None:
     owned = set(world.owned)
     for origin in origins:
         if origin in owned:
@@ -268,7 +273,9 @@ def _start_worker_phase(system, world: ShardWorld, phase: str, origins) -> None:
                 raise ReproError(f"unknown phase {phase!r}")
 
 
-def _worker_payload(system, world: ShardWorld, transport: _WorkerTransport, phase: str) -> dict:
+def _worker_payload(
+    system: P2PSystem, world: ShardWorld, transport: _WorkerTransport, phase: str
+) -> dict:
     """The final state one worker ships back: facts, protocol state, stats."""
     if phase == "discovery":
         for node_id in world.owned:
@@ -585,7 +592,7 @@ class MultiprocEngine:
     def __init__(self, planner: ShardPlanner | None = None):
         self.planner = planner
 
-    def _check(self, system) -> MultiprocTransport:
+    def _check(self, system: P2PSystem) -> MultiprocTransport:
         transport = system.transport
         if not isinstance(transport, MultiprocTransport):
             raise ReproError(
@@ -595,7 +602,7 @@ class MultiprocEngine:
             )
         return transport
 
-    def _ensure_plan(self, system, transport: MultiprocTransport) -> None:
+    def _ensure_plan(self, system: P2PSystem, transport: MultiprocTransport) -> None:
         if transport.plan is not None:
             return
         planner = self.planner or ShardPlanner(transport.shard_count)

@@ -26,10 +26,14 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from math import ceil
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.coordination.rule import CoordinationRule, NodeId
 from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.core.system import P2PSystem
+    from repro.workloads.topologies import TopologySpec
 
 Edge = tuple[NodeId, NodeId]
 
@@ -60,7 +64,9 @@ class ShardPlan:
         try:
             return self.shard_of[node]
         except KeyError:
-            raise ReproError(f"node {node!r} is not covered by the shard plan") from None
+            raise ReproError(
+                f"node {node!r} is not covered by the shard plan"
+            ) from None
 
     def members(self, shard: int) -> tuple[NodeId, ...]:
         """The peers of one shard, sorted."""
@@ -145,7 +151,7 @@ class ShardPlanner:
             shard_count=shard_count, shard_of=dict(assignment), edges=edge_list
         )
 
-    def plan_topology(self, spec) -> ShardPlan:
+    def plan_topology(self, spec: TopologySpec) -> ShardPlan:
         """Partition a :class:`~repro.workloads.topologies.TopologySpec`."""
         return self.plan(spec.nodes, spec.edges)
 
@@ -162,7 +168,7 @@ class ShardPlanner:
             edges.extend(rule.dependency_edges)
         return self.plan(mentioned, edges)
 
-    def plan_system(self, system) -> ShardPlan:
+    def plan_system(self, system: P2PSystem) -> ShardPlan:
         """Partition a live :class:`~repro.core.system.P2PSystem`."""
         return self.plan_rules(system.registry, system.nodes)
 

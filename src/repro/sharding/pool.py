@@ -55,7 +55,7 @@ import multiprocessing
 import queue as queue_module
 import traceback
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, cast
 
 from repro.coordination.rule import CoordinationRule, NodeId
 from repro.errors import NetworkError, ReproError
@@ -74,6 +74,10 @@ from repro.sharding.multiproc import (
     _worlds_from_system,
 )
 from repro.sharding.planner import ShardPlan, ShardPlanner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.system import P2PSystem
+    from repro.sharding.multiproc import MultiprocTransport
 
 #: Facts as the pool mirrors them: per node, per relation, a row set.
 FactsMirror = dict[NodeId, dict[str, frozenset]]
@@ -128,7 +132,7 @@ class SyncDelta:
         }
 
 
-def rules_fingerprint(system) -> dict[str, str]:
+def rules_fingerprint(system: P2PSystem) -> dict[str, str]:
     """``rule_id -> str(rule)`` for the system's current rule set.
 
     The string form captures body, head and comparisons, so editing a rule
@@ -213,11 +217,11 @@ class WorldMirror:
                     for relation, rows in relations.items()
                 }
 
-    def delta(self, system) -> SyncDelta:
+    def delta(self, system: P2PSystem) -> SyncDelta:
         """What changed in the coordinator since the workers last synced."""
         return compute_sync_delta(system, self.rules, self.facts)
 
-    def note_synced(self, system) -> None:
+    def note_synced(self, system: P2PSystem) -> None:
         """Record that the workers now hold the coordinator's current state."""
         self.rules = rules_fingerprint(system)
         for node_id, node in system.nodes.items():
@@ -229,7 +233,9 @@ class WorldMirror:
             for node_id, facts in payload["facts"].items():
                 self.facts[node_id] = dict(facts)
 
-    def plan_if_stale(self, plan: ShardPlan, system, planner: ShardPlanner):
+    def plan_if_stale(
+        self, plan: ShardPlan, system: P2PSystem, planner: ShardPlanner
+    ) -> ShardPlan | None:
         """Re-plan after a rule-graph change; a moved peer invalidates the pool.
 
         Returns ``None`` while the rule graph is unchanged *or* the fresh plan
@@ -249,7 +255,7 @@ class WorldMirror:
 # ------------------------------------------------------------ worker process
 
 
-def _apply_sync(system, world: ShardWorld, delta: dict) -> None:
+def _apply_sync(system: P2PSystem, world: ShardWorld, delta: dict) -> None:
     """Apply one coordinator delta inside a worker process."""
     from repro.database.schema import RelationSchema
 
@@ -388,7 +394,7 @@ class WorkerPool:
             raise
 
     @classmethod
-    def spawn(cls, system, plan: ShardPlan) -> "WorkerPool":
+    def spawn(cls, system: P2PSystem, plan: ShardPlan) -> "WorkerPool":
         """Spawn a pool over the live system's current state."""
         return cls(plan, _worlds_from_system(system, plan))
 
@@ -453,7 +459,9 @@ class WorkerPool:
 
     # --------------------------------------------------------------- re-plan
 
-    def plan_if_stale(self, system, planner: ShardPlanner) -> ShardPlan | None:
+    def plan_if_stale(
+        self, system: P2PSystem, planner: ShardPlanner
+    ) -> ShardPlan | None:
         """Re-plan after a rule-graph change; a new partition invalidates the pool.
 
         Returns ``None`` while the rule graph is unchanged *or* the fresh plan
@@ -466,7 +474,7 @@ class WorkerPool:
 
     # ------------------------------------------------------------------ runs
 
-    def sync(self, system) -> SyncDelta:
+    def sync(self, system: P2PSystem) -> SyncDelta:
         """Ship the coordinator's changes since the last run to the workers.
 
         Returns the delta that was shipped (empty deltas ship nothing), so
@@ -540,6 +548,23 @@ class PooledTransport(MultiprocTransport):
         )
 
 
+class PoolLike(Protocol):
+    """What :class:`WarmPoolLifecycle` needs from a pool it keeps warm."""
+
+    @property
+    def alive(self) -> bool: ...
+
+    def close(self) -> None: ...
+
+    def plan_if_stale(
+        self, system: P2PSystem, planner: ShardPlanner
+    ) -> ShardPlan | None: ...
+
+    def sync(self, system: P2PSystem) -> SyncDelta: ...
+
+    def run_phase(self, phase: str, origins: Iterable[NodeId]) -> list[dict]: ...
+
+
 class WarmPoolLifecycle:
     """The warm-pool run driver shared by the mp and socket pooled engines.
 
@@ -553,10 +578,16 @@ class WarmPoolLifecycle:
     planner: ShardPlanner | None
     _pool = None
 
-    def _spawn_pool(self, system, transport):
+    def _spawn_pool(self, system: P2PSystem, transport) -> PoolLike:
         raise NotImplementedError  # pragma: no cover - mixin contract
 
-    def _drive_workers(self, system, plan, phase, origins) -> list[dict]:
+    def _drive_workers(
+        self,
+        system: P2PSystem,
+        plan: ShardPlan,
+        phase: str,
+        origins: Iterable[NodeId],
+    ) -> list[dict]:
         """Reuse the warm pool when possible; (re)spawn when it is not.
 
         Cold paths: no pool yet, a worker died since the last run, or the
@@ -564,7 +595,7 @@ class WarmPoolLifecycle:
         re-plan invalidation described in :meth:`WorkerPool.plan_if_stale`).
         Warm path: ship the delta, run the phase.
         """
-        transport = system.transport
+        transport = cast("MultiprocTransport", system.transport)
         planner = self.planner or ShardPlanner(transport.shard_count)
         pool = self._pool
         if pool is not None and not pool.alive:
@@ -628,5 +659,5 @@ class PooledEngine(WarmPoolLifecycle, MultiprocEngine):
         except Exception:
             pass
 
-    def _spawn_pool(self, system, transport) -> WorkerPool:
+    def _spawn_pool(self, system: P2PSystem, transport) -> WorkerPool:
         return WorkerPool.spawn(system, transport.plan)

@@ -61,7 +61,7 @@ import threading
 import time
 import traceback
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.coordination.rule import NodeId
 from repro.errors import NetworkError, ReproError
@@ -83,6 +83,9 @@ from repro.sharding.pool import (
     _pool_worker_main,
 )
 from repro.stats.collector import StatisticsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.system import P2PSystem
 
 #: Hard bound on one frame's pickled payload.  Large enough for a shipped
 #: world at the 1000+-node sweeps, small enough that a corrupt or hostile
@@ -688,7 +691,7 @@ class SocketPool:
     @classmethod
     def spawn(
         cls,
-        system,
+        system: P2PSystem,
         plan: ShardPlan,
         hosts: Sequence[str],
         *,
@@ -777,13 +780,15 @@ class SocketPool:
 
     # --------------------------------------------------------------- re-plan
 
-    def plan_if_stale(self, system, planner: ShardPlanner) -> ShardPlan | None:
+    def plan_if_stale(
+        self, system: P2PSystem, planner: ShardPlanner
+    ) -> ShardPlan | None:
         """Re-plan after a rule-graph change (see :class:`WorldMirror`)."""
         return self._mirror.plan_if_stale(self.plan, system, planner)
 
     # ------------------------------------------------------------------ runs
 
-    def sync(self, system) -> SyncDelta:
+    def sync(self, system: P2PSystem) -> SyncDelta:
         """Ship the coordinator's changes since the last run to the hosts.
 
         Warm repeat runs re-ship only the structural delta — inserted rows,
@@ -1052,7 +1057,7 @@ class SocketEngine(MultiprocEngine):
         super().__init__(planner)
         self._cluster: LocalHostCluster | None = None
 
-    def _check(self, system) -> SocketTransport:
+    def _check(self, system: P2PSystem) -> SocketTransport:
         transport = system.transport
         if not isinstance(transport, SocketTransport):
             raise ReproError(
@@ -1094,7 +1099,13 @@ class SocketEngine(MultiprocEngine):
             return self._cluster.addresses
         return self._cluster.ensure_alive()
 
-    def _drive_workers(self, system, plan, phase, origins) -> list[dict]:
+    def _drive_workers(
+        self,
+        system: P2PSystem,
+        plan: ShardPlan,
+        phase: str,
+        origins: Iterable[NodeId],
+    ) -> list[dict]:
         transport = self._check(system)
         pool = SocketPool.spawn(
             system, plan, self._hosts_for(transport), max_frame=transport.max_frame
@@ -1135,7 +1146,7 @@ class PooledSocketEngine(WarmPoolLifecycle, SocketEngine):
             self._pool = None
         super().close()
 
-    def _spawn_pool(self, system, transport: SocketTransport) -> SocketPool:
+    def _spawn_pool(self, system: P2PSystem, transport: SocketTransport) -> SocketPool:
         return SocketPool.spawn(
             system,
             transport.plan,

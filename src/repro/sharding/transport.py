@@ -304,7 +304,9 @@ class ShardedTransport(BaseTransport):
     @property
     def intra_shard_messages(self) -> int:
         """Delivered messages that stayed inside their shard."""
-        return self.delivered_count - min(self.cross_shard_messages, self.delivered_count)
+        return self.delivered_count - min(
+            self.cross_shard_messages, self.delivered_count
+        )
 
     def __repr__(self) -> str:
         planned = "planned" if self.plan is not None else "unplanned"

@@ -151,4 +151,6 @@ class TestExperimentLevelTheorems:
     def test_theorem3_experiment(self):
         result = run_separation(records_per_node=6, clique_size=3, churn_rounds=4)
         assert result.theorem3_holds
-        assert all([result.separated, result.a_terminated, result.a_matches_isolated_run])
+        assert all(
+            [result.separated, result.a_terminated, result.a_matches_isolated_run]
+        )

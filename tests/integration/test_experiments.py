@@ -110,7 +110,8 @@ class TestE5DataDistribution:
             specs=[tree_topology(2, 2)], records_per_node=15, overlap_probability=1.0
         )
         (comparison,) = comparisons
-        assert comparison.overlapping.tuples_inserted < comparison.disjoint.tuples_inserted
+        overlapping, disjoint = comparison.overlapping, comparison.disjoint
+        assert overlapping.tuples_inserted < disjoint.tuples_inserted
         assert comparison.insertion_ratio < 1.0
 
 

@@ -1,6 +1,10 @@
 """Integration tests on the paper's Section 2 running example (E1/E2)."""
 
-from repro.core.fixpoint import all_nodes_closed, satisfies_all_rules, verify_against_centralized
+from repro.core.fixpoint import (
+    all_nodes_closed,
+    satisfies_all_rules,
+    verify_against_centralized,
+)
 from repro.core.state import DiscoveryState, UpdateState
 from repro.core.superpeer import SuperPeer
 from repro.database.parser import parse_query
@@ -19,7 +23,14 @@ class TestDiscoveryOnExample:
         super_peer.run_discovery()
         node_a = paper_system.node("A")
         assert node_a.state.state_d == DiscoveryState.CLOSED
-        assert {("A", "B"), ("B", "C"), ("C", "A"), ("B", "E"), ("C", "D"), ("D", "A")} <= node_a.state.edges
+        assert {
+            ("A", "B"),
+            ("B", "C"),
+            ("C", "A"),
+            ("B", "E"),
+            ("C", "D"),
+            ("D", "A"),
+        } <= node_a.state.edges
 
     def test_super_peer_paths_match_paper_table(self, paper_system):
         SuperPeer(paper_system, "A").run_discovery()

@@ -90,7 +90,8 @@ class TestPooledParity:
             TOPOLOGIES[family](), records_per_node=5, seed=7
         )
         _sync_session, sync_result = _run(spec)
-        with Session.from_spec(spec.with_(transport="pooled", shards=shards)) as session:
+        pooled_spec = spec.with_(transport="pooled", shards=shards)
+        with Session.from_spec(pooled_spec) as session:
             session.run("discovery")
             pooled_result = session.update()
             assert pooled_result.engine == "pooled"
@@ -116,7 +117,8 @@ class TestPooledParity:
             super_peer="A",
         )
         _sync_session, sync_result = _run(spec)
-        with Session.from_spec(spec.with_(transport="pooled", shards=shards)) as session:
+        pooled_spec = spec.with_(transport="pooled", shards=shards)
+        with Session.from_spec(pooled_spec) as session:
             session.run("discovery")
             session.update()
             repeat = session.update()

@@ -85,7 +85,9 @@ class TestEngineParity:
         assert async_result.engine == "async"
 
     def test_dblp_workload_engine_parity_on_identical_seeds(self):
-        base = ScenarioSpec.from_topology(tree_topology(1, 2), records_per_node=5, seed=11)
+        base = ScenarioSpec.from_topology(
+            tree_topology(1, 2), records_per_node=5, seed=11
+        )
         results = {}
         for transport in ("sync", "async"):
             session = Session.from_spec(base.with_(transport=transport))

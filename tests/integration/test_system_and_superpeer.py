@@ -29,7 +29,8 @@ class TestSystemAssembly:
 
     def test_advertisements_published(self, chain_system):
         assert set(chain_system.discovery_service.peers()) == {"a", "b", "c"}
-        assert set(chain_system.discovery_service.peers_sharing("item")) == {"a", "b", "c"}
+        sharing = set(chain_system.discovery_service.peers_sharing("item"))
+        assert sharing == {"a", "b", "c"}
 
     def test_duplicate_node_rejected(self, chain_system):
         with pytest.raises(ReproError):
@@ -37,7 +38,9 @@ class TestSystemAssembly:
 
     def test_rule_with_unknown_node_rejected(self, chain_system):
         with pytest.raises(ReproError):
-            chain_system.add_rule(rule_from_text("zz", "z: item(X, Y) -> a: item(X, Y)"))
+            chain_system.add_rule(
+                rule_from_text("zz", "z: item(X, Y) -> a: item(X, Y)")
+            )
 
     def test_remove_rule_closes_pipe(self, chain_system):
         chain_system.remove_rule("ab")
@@ -70,8 +73,10 @@ class TestSystemAssembly:
             system.run_global_update()
 
     def test_dependency_graph_includes_isolated_nodes(self):
-        system = P2PSystem.build(item_schemas("a", "b", "solo"),
-                                 [rule_from_text("ab", "b: item(X, Y) -> a: item(X, Y)")])
+        system = P2PSystem.build(
+            item_schemas("a", "b", "solo"),
+            [rule_from_text("ab", "b: item(X, Y) -> a: item(X, Y)")],
+        )
         assert "solo" in system.dependency_graph().nodes
 
 

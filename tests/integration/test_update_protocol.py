@@ -1,10 +1,17 @@
 """Integration tests of the update protocol on controlled small networks."""
 
+import time
+
 import pytest
 
+from repro.analysis import analyze_parts, is_weakly_acyclic
 from repro.baselines.centralized import centralized_update
 from repro.coordination.rule import rule_from_text
-from repro.core.fixpoint import all_nodes_closed, ground_part, verify_against_centralized
+from repro.core.fixpoint import (
+    all_nodes_closed,
+    ground_part,
+    verify_against_centralized,
+)
 from repro.core.system import P2PSystem
 from repro.core.update import join_fragments
 from repro.database.nulls import is_null
@@ -149,6 +156,22 @@ class TestExistentialRules:
         reference = centralized_update(schemas, rules, data).snapshot()
         assert ground_part(system.databases()) == ground_part(reference)
 
+    def test_existential_cycle_statically_classified_non_terminating(self):
+        # The fast guard for the pathological network above: the static
+        # analyzer classifies it as not weakly acyclic (diagnostic T001) in
+        # well under a second, so the >20-minute slow test is no longer the
+        # only thing standing between that rule shape and a hung run.
+        schemas = item_schemas("a", "b")
+        rules = [
+            rule_from_text("ab", "b: item(X, Y) -> a: item(Y, Z)"),
+            rule_from_text("ba", "a: item(X, Y) -> b: item(Y, Z)"),
+        ]
+        started = time.perf_counter()
+        assert not is_weakly_acyclic(rules)
+        report = analyze_parts(schemas, rules, {"a": {"item": [("x0", "x1")]}})
+        assert time.perf_counter() - started < 1.0
+        assert [d.code for d in report.errors] == ["T001"]
+
     def test_existential_cycle_bounded_terminates(self):
         # The bounded-size cycle: both rules keep the key in the universal
         # (first) position, so the A6 projection check rejects re-derivations
@@ -159,6 +182,10 @@ class TestExistentialRules:
             rule_from_text("ab", "b: item(X, Y) -> a: item(X, Z)"),
             rule_from_text("ba", "a: item(X, Y) -> b: item(X, Z)"),
         ]
+        # The analyzer agrees this variant is safe to chase: weakly acyclic,
+        # no termination diagnostics — the static twin of the run below.
+        assert is_weakly_acyclic(rules)
+        assert analyze_parts(schemas, rules).ok
         data = {"a": {"item": [("x0", "x1"), ("y0", "y1")]}}
         system = P2PSystem.build(schemas, rules, data)
         system.run_global_update()

@@ -67,7 +67,11 @@ class TestDependencyPathProperties:
         )
         assert has_loop_path == (not graph.is_acyclic())
 
-    @given(edges=edges_strategy, group_a=st.sets(node_names), group_b=st.sets(node_names))
+    @given(
+        edges=edges_strategy,
+        group_a=st.sets(node_names),
+        group_b=st.sets(node_names),
+    )
     @settings(max_examples=60, deadline=None)
     def test_separation_equals_no_reachability(self, edges, group_a, group_b):
         graph = DependencyGraph(edges=edges)

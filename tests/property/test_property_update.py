@@ -109,7 +109,9 @@ class TestTransformingRules:
             )
             for importer, exporter in sorted(edges)
         ]
-        initial = {name: {"item": sorted(node_rows)} for name, node_rows in data.items()}
+        initial = {
+            name: {"item": sorted(node_rows)} for name, node_rows in data.items()
+        }
         system = P2PSystem.build(schemas, rules, initial)
         system.run_global_update()
         reference = centralized_update(schemas, rules, initial).snapshot()

@@ -141,7 +141,9 @@ class TestEngines:
         assert isinstance(engine_for(AsyncTransport()), AsyncEngine)
 
     def test_sync_engine_rejects_async_transport(self):
-        session = Session.of(small_builder().build().with_(transport="async").build_system())
+        session = Session.of(
+            small_builder().build().with_(transport="async").build_system()
+        )
         with pytest.raises(ReproError):
             SyncEngine().run(session.system, "discovery")
 

@@ -98,14 +98,15 @@ class TestRequestAndAnswerFlow:
         node_b = system.node("b")
         system.node("a").discovery.start()
         system.transport.run()
-        before = system.snapshot_stats().messages.by_type[MessageType.REQUEST_NODES.value]
+        request_type = MessageType.REQUEST_NODES.value
+        before = system.snapshot_stats().messages.by_type[request_type]
         # Re-deliver a request for the same origin: no new forwarding happens,
         # the branch is just marked finished (the "reached twice" stop rule).
         node_b.handle(
             Message("a", "b", MessageType.REQUEST_NODES, {"sender": "a", "origin": "a"})
         )
         system.transport.run()
-        after = system.snapshot_stats().messages.by_type[MessageType.REQUEST_NODES.value]
+        after = system.snapshot_stats().messages.by_type[request_type]
         assert after == before
         assert node_b.state.finished
 

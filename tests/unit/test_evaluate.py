@@ -42,7 +42,9 @@ class TestEvaluateQuery:
         assert answers == {("a", "b"), ("b", "c"), ("c", "a"), ("b", "d")}
 
     def test_join_two_atoms(self, graph_db):
-        answers = evaluate_query(graph_db, parse_query("q(X, Z) :- edge(X, Y), edge(Y, Z)"))
+        answers = evaluate_query(
+            graph_db, parse_query("q(X, Z) :- edge(X, Y), edge(Y, Z)")
+        )
         assert ("a", "c") in answers
         assert ("a", "d") in answers
         assert ("d", "a") not in answers
@@ -89,7 +91,9 @@ class TestEvaluateQuery:
         assert ("a", "b", "start") in answers
 
     def test_cartesian_product_when_no_shared_variables(self, graph_db):
-        answers = evaluate_query(graph_db, parse_query("q(X, N) :- edge(X, 'b'), label(N, 'end')"))
+        answers = evaluate_query(
+            graph_db, parse_query("q(X, N) :- edge(X, 'b'), label(N, 'end')")
+        )
         assert answers == {("a", "d")}
 
 

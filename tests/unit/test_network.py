@@ -19,7 +19,9 @@ class TestMessage:
 
     def test_size_estimate_grows_with_payload(self):
         small = self._message({"tuples": frozenset({("a", "b")})})
-        large = self._message({"tuples": frozenset({("a" * 50, "b" * 50) for _ in range(1)}) | {(str(i), str(i)) for i in range(20)}})
+        wide = frozenset({("a" * 50, "b" * 50) for _ in range(1)})
+        many = {(str(i), str(i)) for i in range(20)}
+        large = self._message({"tuples": wide | many})
         assert large.size_estimate() > small.size_estimate()
 
     def test_size_estimate_counts_strings_and_mappings(self):

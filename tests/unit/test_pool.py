@@ -132,7 +132,10 @@ class TestWiring:
 
     def test_spec_pool_flag_round_trips_and_builds_pooled(self):
         spec = ScenarioSpec.of(
-            {"a": RelationSchema("item", ["x", "y"]), "b": RelationSchema("item", ["x", "y"])},
+            {
+                "a": RelationSchema("item", ["x", "y"]),
+                "b": RelationSchema("item", ["x", "y"]),
+            },
             [RULE],
             transport="multiproc",
             shards=2,

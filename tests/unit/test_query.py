@@ -75,7 +75,9 @@ class TestConjunctiveQuery:
             Atom("b", [Variable("X"), Variable("Y")]),
             Atom("c", [Variable("Y"), Constant(1)]),
         ]
-        return ConjunctiveQuery(head, body, [Comparison("!=", Variable("X"), Variable("Y"))])
+        return ConjunctiveQuery(
+            head, body, [Comparison("!=", Variable("X"), Variable("Y"))]
+        )
 
     def test_body_variables_in_first_occurrence_order(self):
         assert self._query().body_variables == (Variable("X"), Variable("Y"))

@@ -102,7 +102,9 @@ class TestSyncTransport:
 
         def ping_pong(message):
             transport.send(
-                make_message(message.recipient, "A" if message.recipient == "B" else "B")
+                make_message(
+                    message.recipient, "A" if message.recipient == "B" else "B"
+                )
             )
 
         transport.register("A", ping_pong)

@@ -45,7 +45,9 @@ class TestFragments:
         assert ("1", "2", "3") in fragment
 
     def test_join_fragments_applies_cross_fragment_builtins(self):
-        rule = rule_from_text("r", "b: item(X, Y), c: item(Y, Z), X != Z -> a: item(X, Z)")
+        rule = rule_from_text(
+            "r", "b: item(X, Y), c: item(Y, Z), X != Z -> a: item(X, Z)"
+        )
         fragments = {
             "b": {("1", "k"), ("2", "k")},
             "c": {("k", "1"), ("k", "9")},

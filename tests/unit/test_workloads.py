@@ -173,3 +173,51 @@ class TestDistributions:
             distribute_records(spec, -1)
         with pytest.raises(ReproError):
             distribute_records(spec, 1, overlap_probability=2.0)
+
+
+class TestWorkloadsPassStaticAnalysis:
+    """Every generator must emit rules whose atoms match the declared schemas.
+
+    This is the regression net of the PR-6 schema audit: the static analyzer
+    (docs/analysis.md) cross-checks every generated rule atom — relation name
+    and arity — against each peer's schema variant, so drift between
+    ``_BODY_BY_VARIANT``/``_HEADS_BY_VARIANT`` and ``schema_for_variant``
+    can no longer ship silently.
+    """
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            tree_topology(2, fanout=2),
+            layered_topology(2, width=3, seed=1),
+            clique_topology(4),
+            chain_topology(5),
+            star_topology(4),
+        ],
+        ids=lambda spec: spec.name,
+    )
+    def test_dblp_workload_is_schema_consistent(self, spec):
+        from repro.analysis import Severity, analyze_parts
+        from repro.workloads.scenarios import dblp_workload_parts
+
+        rules, _assignment, schemas, data = dblp_workload_parts(
+            spec, records_per_node=2, seed=5
+        )
+        report = analyze_parts(schemas, rules, data, scenario=spec.name)
+        assert report.ok, report.render()
+        # Loaded workloads are also free of dead rules and unused peers.
+        assert not report.by_severity(Severity.WARNING), report.render()
+
+    def test_single_relation_rules_are_schema_consistent(self):
+        from repro.analysis import analyze_parts
+        from repro.database.schema import DatabaseSchema, RelationSchema
+
+        spec = clique_topology(4)
+        rules = single_relation_rules_for(spec)
+        schemas = {
+            node: DatabaseSchema([RelationSchema("item", ["x", "y"])])
+            for node in spec.nodes
+        }
+        data = {node: {"item": [("1", "2")]} for node in spec.nodes}
+        report = analyze_parts(schemas, rules, data)
+        assert report.ok, report.render()
