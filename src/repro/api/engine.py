@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
 from repro.coordination.rule import NodeId
 from repro.errors import ReproError
 from repro.network.transport import AsyncTransport, BaseTransport, SyncTransport
+from repro.obs import tracer_of
 from repro.stats.collector import StatsSnapshot
 
 if TYPE_CHECKING:
@@ -109,8 +110,11 @@ class SyncEngine:
         self, system: P2PSystem, phase: str, origins: Iterable[NodeId] | None = None
     ) -> tuple[float, StatsSnapshot]:
         transport = self._check(system)
+        tracer = tracer_of(system)
         start_phase(system, phase, origins)
-        completion = transport.run()
+        with tracer.span("chase", engine=self.name) as span:
+            completion = transport.run()
+            span.set(delivered=transport.delivered_count)
         finalize_phase(system, phase)
         return completion, system.stats.snapshot()
 
@@ -153,8 +157,11 @@ class AsyncEngine:
         self, system: P2PSystem, phase: str, origins: Iterable[NodeId] | None = None
     ) -> tuple[float, StatsSnapshot]:
         transport = self._check(system)
+        tracer = tracer_of(system)
         start_phase(system, phase, origins)
-        await transport.wait_quiescent()
+        with tracer.span("chase", engine=self.name) as span:
+            await transport.wait_quiescent()
+            span.set(delivered=transport.delivered_count)
         finalize_phase(system, phase)
         snapshot = system.stats.snapshot()
         return snapshot.simulated_time, snapshot

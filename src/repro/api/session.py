@@ -26,6 +26,7 @@ engine selection guide in ``docs/engines.md``.
 
 from __future__ import annotations
 
+import json
 import time
 from collections import OrderedDict
 from dataclasses import replace
@@ -43,6 +44,7 @@ from repro.database.query import ConjunctiveQuery
 from repro.database.relation import Row
 from repro.database.schema import DatabaseSchema
 from repro.errors import ReproError
+from repro.obs import Tracer
 from repro.stats.collector import StatsSnapshot
 
 if TYPE_CHECKING:
@@ -83,6 +85,8 @@ class Session:
         capture_deltas: bool = True,
         cache_strategies: bool = True,
         preflight: AnalysisReport | None = None,
+        trace: bool = False,
+        tracer: Tracer | None = None,
     ):
         self.system = system
         self.spec = spec
@@ -111,6 +115,20 @@ class Session:
         self._strategy_cache: OrderedDict[tuple, RunResult] = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        # Tracing: off (the default) leaves every run bit-identical — no
+        # tracer object is created and no span ever opens.  ``trace=True``
+        # (or a spec with trace=True) builds a fresh coordinator tracer;
+        # passing ``tracer=`` shares one across sessions (the experiment
+        # drivers trace a whole sweep into a single timeline).
+        if tracer is None and (trace or (spec is not None and spec.trace)):
+            tracer = Tracer(process="coordinator")
+        self.tracer = tracer
+        if tracer is not None:
+            system.tracer = tracer
+            # The A6 chase profile rides on the databases so the projection
+            # check can bump counters without knowing about sessions.
+            for node in system.nodes.values():
+                node.database.profile = tracer.chase
 
     # ------------------------------------------------------------ construction
 
@@ -147,7 +165,14 @@ class Session:
 
     #: Session.build settings consumed by the Session constructor; everything
     #: else goes to the ScenarioSpec.
-    _SESSION_SETTINGS = ("engine", "capture_deltas", "cache_strategies", "check")
+    _SESSION_SETTINGS = (
+        "engine",
+        "capture_deltas",
+        "cache_strategies",
+        "check",
+        "trace",
+        "tracer",
+    )
 
     @classmethod
     def build(
@@ -220,6 +245,44 @@ class Session:
         """Reset all counters (the super-peer's reset command)."""
         self.system.reset_statistics()
 
+    def export_metrics(self, format: str = "json") -> str:
+        """The session's metrics in ``"json"`` or ``"prometheus"`` text form.
+
+        The export merges the statistics collector's registry (message and
+        per-node counters), the tracer's span-duration histograms when the
+        session is traced, and two run-level gauges (simulated clock,
+        cumulative wall seconds) into one registry before rendering.
+        """
+        # Imported lazily: the exporters pull in the report formatter, which
+        # sessions otherwise never need.
+        from repro.obs.export import metrics_to_json, metrics_to_prometheus
+        from repro.obs.metrics import MetricsRegistry
+
+        collector = self.system.stats
+        registry = MetricsRegistry()
+        registry.merge(collector.registry.dump())
+        for name in collector.registry._help:
+            registry.describe(name, collector.registry.help_for(name))
+        if self.tracer is not None:
+            registry.merge(self.tracer.metrics.dump())
+        registry.describe(
+            "repro_simulated_time_seconds", "Simulated clock at the last snapshot."
+        )
+        registry.gauge("repro_simulated_time_seconds").set(collector.simulated_time)
+        registry.describe(
+            "repro_wall_seconds_total", "Cumulative wall-clock time of all runs."
+        )
+        registry.gauge("repro_wall_seconds_total").set(
+            collector.elapsed_wall_seconds
+        )
+        if format == "json":
+            return json.dumps(metrics_to_json(registry), indent=2)
+        if format == "prometheus":
+            return metrics_to_prometheus(registry)
+        raise ReproError(
+            f"unknown metrics format {format!r}; expected 'json' or 'prometheus'"
+        )
+
     @property
     def super_peer(self) -> NodeId:
         """The system's designated super-peer."""
@@ -276,12 +339,28 @@ class Session:
 
         ``phase`` is ``"discovery"`` or ``"update"``; ``origins`` are the
         initiating nodes (defaults: the super-peer for discovery, every node
-        for the update).
+        for the update).  On a traced session the run is wrapped in a ``run``
+        span and the merged timeline lands on ``result.extras["trace"]``.
         """
         started = time.perf_counter()
         before = self.system.databases() if self.capture_deltas else None
-        completion, snapshot = self.engine.run(self.system, phase, origins)
-        return self._package(phase, before, completion, snapshot, started)
+        tracer = self.tracer
+        if tracer is None:
+            completion, snapshot = self.engine.run(self.system, phase, origins)
+            return self._package(phase, before, completion, snapshot, started)
+        mark = tracer.mark()
+        chase_before = tracer.chase.snapshot()
+        with tracer.span("run", phase=phase, engine=self.engine.name) as span:
+            completion, snapshot = self.engine.run(self.system, phase, origins)
+            span.set(
+                completion_time=completion,
+                messages=sum(snapshot.messages.by_type.values()),
+                **tracer.chase.delta_attributes(chase_before),
+            )
+        result = self._package(phase, before, completion, snapshot, started)
+        return replace(
+            result, extras={**result.extras, "trace": tracer.trace(since=mark)}
+        )
 
     async def run_async(
         self, phase: str, *, origins: Iterable[NodeId] | None = None
@@ -289,8 +368,27 @@ class Session:
         """Awaitable variant of :meth:`run` for callers inside an event loop."""
         started = time.perf_counter()
         before = self.system.databases() if self.capture_deltas else None
-        completion, snapshot = await self.engine.run_async(self.system, phase, origins)
-        return self._package(phase, before, completion, snapshot, started)
+        tracer = self.tracer
+        if tracer is None:
+            completion, snapshot = await self.engine.run_async(
+                self.system, phase, origins
+            )
+            return self._package(phase, before, completion, snapshot, started)
+        mark = tracer.mark()
+        chase_before = tracer.chase.snapshot()
+        with tracer.span("run", phase=phase, engine=self.engine.name) as span:
+            completion, snapshot = await self.engine.run_async(
+                self.system, phase, origins
+            )
+            span.set(
+                completion_time=completion,
+                messages=sum(snapshot.messages.by_type.values()),
+                **tracer.chase.delta_attributes(chase_before),
+            )
+        result = self._package(phase, before, completion, snapshot, started)
+        return replace(
+            result, extras={**result.extras, "trace": tracer.trace(since=mark)}
+        )
 
     def discover(self, *, origins: Iterable[NodeId] | None = None) -> RunResult:
         """Shorthand for ``run("discovery")``."""

@@ -138,6 +138,12 @@ class ScenarioSpec:
     #: the session's engine; ``session.close()`` stops them), so specs stay
     #: replayable with no real cluster at hand.
     hosts: tuple[str, ...] | None = None
+    #: Trace runs of this scenario: sessions opened on the spec create a
+    #: :class:`~repro.obs.Tracer`, wrap each run in spans and attach the
+    #: merged timeline to ``RunResult.extras["trace"]`` (see
+    #: ``docs/observability.md``).  Off by default — untraced runs stay
+    #: bit-identical.
+    trace: bool = False
 
     @classmethod
     def of(
@@ -223,6 +229,7 @@ class ScenarioSpec:
             "shards": self.shards,
             "pool": self.pool,
             "hosts": list(self.hosts) if self.hosts else None,
+            "trace": self.trace,
             "schemas": {
                 node: [
                     {
@@ -305,6 +312,7 @@ class ScenarioSpec:
             shards=document.get("shards"),
             pool=document.get("pool", False),
             hosts=tuple(document["hosts"]) if document.get("hosts") else None,
+            trace=document.get("trace", False),
         )
 
     @property

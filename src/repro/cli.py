@@ -18,7 +18,9 @@ experiment sessions.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable
 
 from repro.api.strategies import available_strategies
@@ -77,6 +79,7 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
                 engine=getattr(args, "engine", "sharded"),
                 repeats=getattr(args, "repeats", 3),
                 hosts=_parse_hosts(getattr(args, "hosts", None)),
+                trace_path=getattr(args, "trace", None),
             )
             if getattr(args, "engine", "sync")
             in ("sharded", "multiproc", "pooled", "socket")
@@ -216,6 +219,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a Chrome trace-event JSON timeline of the E3 engine sweep "
+            "to PATH (open it at https://ui.perfetto.dev); only valid with "
+            "E3 and --engine sharded/multiproc/pooled/socket"
+        ),
+    )
+    run_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="enable debug logging on the repro.obs logger hierarchy",
+    )
+    run_parser.add_argument(
         "--no-preflight",
         dest="preflight",
         action="store_false",
@@ -255,6 +273,22 @@ def build_parser() -> argparse.ArgumentParser:
             "for sharded specs (default 0.5)"
         ),
     )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="inspect trace files written by 'run ... --trace'",
+    )
+    trace_parser.add_argument(
+        "action",
+        choices=("summarize", "validate"),
+        help=(
+            "'summarize' prints the per-phase wall-clock table; 'validate' "
+            "schema-checks the file and exits non-zero on problems"
+        ),
+    )
+    trace_parser.add_argument(
+        "path", help="a Chrome trace-event JSON file (from 'run ... --trace')"
+    )
     return parser
 
 
@@ -283,6 +317,34 @@ def lint_scenarios(
     return 1 if failed else 0
 
 
+def inspect_trace(action: str, path: str) -> int:
+    """Validate or summarize a Chrome trace file; returns the exit code."""
+    from repro.obs.export import (
+        chrome_trace_summary,
+        format_trace_summary,
+        validate_chrome_trace,
+    )
+
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        print(f"{path}: error: {error}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(document)
+    if problems:
+        for problem in problems:
+            print(f"{path}: {problem}", file=sys.stderr)
+        return 1
+    if action == "validate":
+        events = sum(
+            1 for event in document["traceEvents"] if event.get("ph") == "X"
+        )
+        print(f"{path}: valid ({events} span event(s))")
+        return 0
+    print(format_trace_summary(chrome_trace_summary(document)))
+    return 0
+
+
 def list_experiments() -> str:
     """A one-line-per-experiment listing."""
     lines = [
@@ -301,9 +363,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    from repro.obs import configure_logging
+
+    configure_logging(verbose=getattr(args, "verbose", False))
+
     if args.command == "list":
         list_experiments()
         return 0
+    if args.command == "trace":
+        return inspect_trace(args.action, args.path)
     if args.command == "lint":
         return lint_scenarios(
             args.scenarios,
@@ -345,6 +413,19 @@ def main(argv: list[str] | None = None) -> int:
                 "error: --hosts applies only to the E3 socket sweep "
                 f"(run E3 --engine socket); got {args.experiment} with "
                 f"--engine {args.engine}",
+                file=sys.stderr,
+            )
+            return 2
+        if getattr(args, "trace", None) and (
+            args.experiment != "E3"
+            or args.engine not in ("sharded", "multiproc", "pooled", "socket")
+        ):
+            # Same loud-failure policy as --hosts: only the E3 engine sweep
+            # is instrumented to write a trace file.
+            print(
+                "error: --trace applies only to the E3 engine sweep "
+                "(run E3 --engine sharded/multiproc/pooled/socket); got "
+                f"{args.experiment} with --engine {args.engine}",
                 file=sys.stderr,
             )
             return 2

@@ -45,6 +45,9 @@ class P2PSystem:
     ):
         self.transport = transport
         self.stats: StatisticsCollector = transport.stats
+        #: Span tracer attached by a traced Session; None means tracing off
+        #: (engines resolve this via repro.obs.tracer_of).
+        self.tracer = None
         self.registry = RuleRegistry()
         self.nodes: dict[NodeId, PeerNode] = {}
         self.pipes = PipeTable()

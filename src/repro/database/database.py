@@ -9,7 +9,8 @@ facts, inventing deterministic labelled nulls for existential variables.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+import time
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.database.evaluate import evaluate_body, evaluate_query
 from repro.database.nulls import SkolemFactory
@@ -17,6 +18,9 @@ from repro.database.query import Atom, ConjunctiveQuery, Constant, Variable
 from repro.database.relation import Relation, Row
 from repro.database.schema import DatabaseSchema, RelationSchema
 from repro.errors import QueryError, SchemaError
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import ChaseProfile
 
 
 class LocalDatabase:
@@ -30,6 +34,9 @@ class LocalDatabase:
             rel.name: Relation(rel) for rel in schema
         }
         self.skolems = SkolemFactory()
+        #: A6 projection-check profiling sink; attached by traced sessions
+        #: (None keeps the chase on the unprofiled fast path).
+        self.profile: ChaseProfile | None = None
 
     # ----------------------------------------------------------------- schema
 
@@ -135,6 +142,11 @@ class LocalDatabase:
         ]
         has_existentials = len(known_positions) < head.arity
 
+        profile = self.profile
+        if profile is not None:
+            profile.calls += 1
+            profile_started = time.perf_counter()
+
         inserted: set[Row] = set()
         for answer in answers:
             if len(answer) != len(distinguished):
@@ -155,12 +167,25 @@ class LocalDatabase:
                 else:
                     row.append(self.skolems.null_for(rule_id, term.name, binding))
             row = tuple(row)
-            if has_existentials and self._projection_present(
-                relation, row, known_positions
-            ):
-                continue
+            if has_existentials:
+                if profile is None:
+                    if self._projection_present(relation, row, known_positions):
+                        continue
+                else:
+                    profile.projection_checks += 1
+                    present, scanned = self._projection_present_profiled(
+                        relation, row, known_positions
+                    )
+                    profile.candidates_scanned += scanned
+                    if present:
+                        profile.skipped_by_projection += 1
+                        continue
             if relation.insert(row):
                 inserted.add(row)
+
+        if profile is not None:
+            profile.rows_inserted += len(inserted)
+            profile.wall_seconds += time.perf_counter() - profile_started
         return inserted
 
     @staticmethod
@@ -175,6 +200,21 @@ class LocalDatabase:
             if all(candidate[p] == row[p] for p in known_positions[1:]):
                 return True
         return False
+
+    @staticmethod
+    def _projection_present_profiled(
+        relation: Relation, row: Row, known_positions: list[int]
+    ) -> tuple[bool, int]:
+        """:meth:`_projection_present` plus the number of candidates scanned."""
+        if not known_positions:
+            return len(relation) > 0, 0
+        candidates = relation.lookup(known_positions[0], row[known_positions[0]])
+        scanned = 0
+        for candidate in candidates:
+            scanned += 1
+            if all(candidate[p] == row[p] for p in known_positions[1:]):
+                return True, scanned
+        return False, scanned
 
     # ------------------------------------------------------------------ misc
 

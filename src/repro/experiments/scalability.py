@@ -21,6 +21,7 @@ from typing import Sequence
 from repro.api.session import Session
 from repro.api.spec import ScenarioSpec
 from repro.errors import ReproError
+from repro.obs import Tracer
 from repro.experiments.runner import UpdateRunResult, run_dblp_update
 from repro.stats.report import format_table
 from repro.workloads.topologies import (
@@ -211,6 +212,7 @@ def run_shard_scalability(
     include_socket: bool = False,
     hosts: Sequence[str] | None = None,
     repeats: int = 3,
+    tracer: Tracer | None = None,
 ) -> list[ShardComparison]:
     """Run the global update under the sync and the partitioned engines side by side.
 
@@ -228,6 +230,9 @@ def run_shard_scalability(
     adds a run under the TCP shard-host
     :class:`~repro.sharding.sockets.SocketEngine` — against the ``hosts``
     addresses when given, else against auto-spawned localhost hosts.
+    ``tracer`` (usually built by :func:`shard_main` for ``--trace``) is
+    shared across every session of the sweep, so all engines' runs land in
+    one timeline — worker-process spans included.
     """
     from repro.core.fixpoint import ground_part
 
@@ -243,13 +248,15 @@ def run_shard_scalability(
         label = f"{spec.name}/n={spec.node_count}"
 
         started = time.perf_counter()
-        sync_session = Session.from_spec(scenario, capture_deltas=False)
+        sync_session = Session.from_spec(
+            scenario, capture_deltas=False, tracer=tracer
+        )
         sync_result = sync_session.run("update")
         sync_wall = time.perf_counter() - started
 
         started = time.perf_counter()
         sharded_session = Session.from_spec(
-            scenario.with_(shards=shards), capture_deltas=False
+            scenario.with_(shards=shards), capture_deltas=False, tracer=tracer
         )
         sharded_result = sharded_session.run("update")
         sharded_wall = time.perf_counter() - started
@@ -267,6 +274,7 @@ def run_shard_scalability(
             multiproc_session = Session.from_spec(
                 scenario.with_(transport="multiproc", shards=shards),
                 capture_deltas=False,
+                tracer=tracer,
             )
             multiproc_result = multiproc_session.run("update")
             multiproc_wall = time.perf_counter() - started
@@ -297,6 +305,7 @@ def run_shard_scalability(
                 with Session.from_spec(
                     scenario.with_(transport="pooled", shards=shards),
                     capture_deltas=False,
+                    tracer=tracer,
                 ) as pooled_session:
                     started = time.perf_counter()
                     pooled_session.run("update")
@@ -328,6 +337,7 @@ def run_shard_scalability(
                     hosts=tuple(hosts) if hosts else None,
                 ),
                 capture_deltas=False,
+                tracer=tracer,
             ) as socket_session:
                 socket_result = socket_session.run("update")
                 socket_wall = time.perf_counter() - started
@@ -375,6 +385,7 @@ def shard_main(
     engine: str = "sharded",
     repeats: int = 3,
     hosts: Sequence[str] | None = None,
+    trace_path: str | None = None,
 ) -> str:
     """Print the engine-comparison sweep table.
 
@@ -386,11 +397,15 @@ def shard_main(
     the gap between the ``mp repeat wall`` and ``pool warm wall`` columns;
     ``run E3 --engine socket`` instead adds the TCP shard-host engine,
     dialing ``--hosts`` when given and auto-spawned localhost hosts
-    otherwise.
+    otherwise.  ``trace_path`` (the CLI's ``--trace out.json``) traces every
+    run of the sweep into one timeline, writes it as Chrome trace-event JSON
+    (open it at https://ui.perfetto.dev) and appends the per-phase summary
+    table to the output.
     """
     include_multiproc = engine in ("multiproc", "pooled")
     include_pooled = engine == "pooled"
     include_socket = engine == "socket"
+    tracer = Tracer(process="coordinator") if trace_path else None
     comparisons = run_shard_scalability(
         sizes=sizes,
         shards=shards,
@@ -400,6 +415,7 @@ def shard_main(
         include_socket=include_socket,
         hosts=hosts,
         repeats=repeats,
+        tracer=tracer,
     )
     headers = [
         "topology",
@@ -490,6 +506,20 @@ def shard_main(
         title += f", {repeats} repeat runs"
     table = format_table(headers, rows, title=title + ")")
     print(table)
+    if tracer is not None and trace_path is not None:
+        from repro.obs.export import (
+            chrome_trace_summary,
+            format_trace_summary,
+            trace_to_chrome,
+            write_chrome_trace,
+        )
+
+        document = trace_to_chrome(tracer.trace())
+        written = write_chrome_trace(tracer.trace(), trace_path)
+        summary = format_trace_summary(chrome_trace_summary(document))
+        print(f"\ntrace written to {written} (open at https://ui.perfetto.dev)")
+        print(summary)
+        table = table + "\n" + summary
     return table
 
 

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.api.engine import finalize_phase, start_phase
 from repro.coordination.rule import NodeId
 from repro.errors import ReproError
+from repro.obs import tracer_of
 from repro.sharding.planner import ShardPlanner
 from repro.sharding.transport import ShardedTransport
 from repro.stats.collector import ShardTrafficStats, StatsSnapshot
@@ -89,9 +90,16 @@ class ShardedEngine:
         self, system, phase: str, origins: Iterable[NodeId] | None = None
     ) -> tuple[float, StatsSnapshot]:
         transport = self._check(system)
-        self._ensure_plan(system, transport)
+        tracer = tracer_of(system)
+        with tracer.span("plan", shards=transport.shard_count):
+            self._ensure_plan(system, transport)
         start_phase(system, phase, origins)
-        completion = await transport.run_until_quiescent()
+        with tracer.span("chase", engine=self.name) as span:
+            completion = await transport.run_until_quiescent()
+            span.set(
+                delivered=transport.delivered_count,
+                cross_shard=transport.cross_shard_messages,
+            )
         finalize_phase(system, phase)
         snapshot = system.stats.snapshot()
         snapshot = replace(

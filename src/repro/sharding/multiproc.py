@@ -56,6 +56,7 @@ from repro.errors import NetworkError, ReproError
 from repro.network.latency import LatencyModel
 from repro.network.message import Message
 from repro.network.transport import BaseTransport
+from repro.obs import NULL_TRACER, Tracer, get_logger, tracer_of
 from repro.sharding.planner import ShardPlan, ShardPlanner
 from repro.stats.collector import (
     ShardTrafficStats,
@@ -77,6 +78,8 @@ _WORKER_TIMEOUT = 120.0
 #: keep ping replies prompt (a worker never disappears into an unbounded
 #: drain), which is what lets the coordinator tell "stalled" from "busy".
 _DRAIN_BATCH = 500
+
+_log = get_logger("multiproc")
 
 
 # --------------------------------------------------------------------- worlds
@@ -105,6 +108,10 @@ class ShardWorld:
     #: worker clocks start here so completion times stay monotone across
     #: consecutive runs, like the in-process transports' persistent clocks.
     clock_start: float = 0.0
+    #: Trace id of the coordinator's tracer, or None when tracing is off;
+    #: a worker that receives one records spans and ships them home in its
+    #: result payload.
+    trace_id: str | None = None
 
     @property
     def owned(self) -> tuple[NodeId, ...]:
@@ -126,6 +133,7 @@ def _worlds_from_system(system: P2PSystem, plan: ShardPlan) -> list[ShardWorld]:
     propagation = {node_id: node.propagation for node_id, node in system.nodes.items()}
     rules = tuple(system.registry)
     shard_of = dict(plan.shard_of)
+    tracer = tracer_of(system)
     worlds = []
     for shard in range(plan.shard_count):
         owned = {n for n, s in shard_of.items() if s == shard}
@@ -140,6 +148,7 @@ def _worlds_from_system(system: P2PSystem, plan: ShardPlan) -> list[ShardWorld]:
                 latency=system.transport.latency,
                 max_messages=system.transport.max_messages,
                 clock_start=system.stats.simulated_time,
+                trace_id=tracer.trace_id if tracer.enabled else None,
             )
         )
     return worlds
@@ -292,26 +301,30 @@ def _worker_payload(
             "edges": set(node.state.edges),
             "paths": dict(node.state.paths),
         }
-    collector = transport.stats
-    return {
+    payload = {
         "facts": facts,
         "schemas": schemas,
         "node_state": node_state,
-        "node_stats": {
-            node_id: vars(collector.node(node_id)).copy()
-            for node_id in list(collector._nodes)
-        },
-        "message_stats": {
-            "total_messages": collector.messages.total_messages,
-            "total_bytes": collector.messages.total_bytes,
-            "by_type": dict(collector.messages.by_type),
-            "bytes_by_type": dict(collector.messages.bytes_by_type),
-        },
+        # One aggregation code path for every engine: the worker ships its
+        # whole metrics registry; the coordinator folds it in with
+        # StatisticsCollector.merge_counters.
+        "counters": transport.stats.dump_counters(),
         "delivered": transport.delivered,
         "cross_sent": tuple(transport.cross_sent),
         "cross_received": transport.cross_received,
         "clock": transport.clock,
     }
+    tracer = tracer_of(transport)
+    if tracer.enabled:
+        payload["spans"] = tracer.drain()
+        payload["trace_clock"] = time.time()
+        # Ship-and-zero in place: the worker's databases hold references to
+        # this ChaseProfile, so it must stay the same object across runs.
+        chase = tracer.chase
+        payload["chase_profile"] = vars(chase).copy()
+        for name, value in vars(chase).items():
+            setattr(chase, name, type(value)())
+    return payload
 
 
 def _worker_main(world: ShardWorld, inboxes: list, results) -> None:
@@ -337,16 +350,38 @@ def _worker_main(world: ShardWorld, inboxes: list, results) -> None:
             world.max_messages,
             clock_start=world.clock_start,
         )
-        system = _build_worker_system(world, transport)
+        tracer = (
+            Tracer(trace_id=world.trace_id, process=f"shard-{world.shard_index}")
+            if world.trace_id is not None
+            else NULL_TRACER
+        )
+        transport.tracer = tracer
+        with tracer.span("build", shard=world.shard_index):
+            system = _build_worker_system(world, transport)
+        if tracer.enabled:
+            for node in system.nodes.values():
+                node.database.profile = tracer.chase
         results.put(("ready", world.shard_index))
+        # One "chase" span covers each busy period: opened when local work
+        # appears, closed when the queue drains and the worker blocks again.
+        chase_span = None
+        delivered_mark = 0
         while True:
             if transport.has_local_work:
+                if chase_span is None and tracer.enabled:
+                    chase_span = tracer.start_span("chase", shard=world.shard_index)
+                    delivered_mark = transport.delivered
                 try:
                     item = inbox.get_nowait()
                 except queue_module.Empty:
                     transport.drain(_DRAIN_BATCH)
                     continue
             else:
+                if chase_span is not None:
+                    tracer.end_span(
+                        chase_span, delivered=transport.delivered - delivered_mark
+                    )
+                    chase_span = None
                 item = inbox.get()
             kind = item[0]
             if kind == "start":
@@ -425,7 +460,7 @@ def _await_replies(results, kind: str, count: int, workers=None) -> dict[int, ob
 
 def _quiescence_rounds(
     results, inboxes, shard_count: int, max_messages: int, workers=None
-) -> None:
+) -> int:
     """Ping workers until two identical, balanced, all-idle rounds agree.
 
     Counters are cumulative, so if round ``g`` equals round ``g-1`` with
@@ -437,6 +472,9 @@ def _quiescence_rounds(
     The stall deadline restarts whenever the counters move: a long phase
     that keeps delivering is healthy however many rounds it takes; only
     ``_WORKER_TIMEOUT`` seconds with *no* progress at all is a failure.
+
+    Returns the number of ping rounds it took to certify quiescence (the
+    "quiescence" span reports it as its ``rounds`` attribute).
     """
     previous = None
     last_progress = None
@@ -473,7 +511,12 @@ def _quiescence_rounds(
             last_progress = progress
             deadline = time.monotonic() + _WORKER_TIMEOUT
         if all_idle and balanced and fingerprint == previous:
-            return
+            _log.debug(
+                "quiescence certified after %d round(s), %d delivered",
+                generation,
+                sum(progress),
+            )
+            return generation
         previous = fingerprint if (all_idle and balanced) else None
         # A failed check means traffic is still moving; yield briefly so
         # workers get scheduled before the next round.
@@ -607,6 +650,11 @@ class MultiprocEngine:
             return
         planner = self.planner or ShardPlanner(transport.shard_count)
         transport.apply_plan(planner.plan_system(system))
+        _log.debug(
+            "planned %d peers across %d shards",
+            len(system.nodes),
+            transport.shard_count,
+        )
 
     # ------------------------------------------------------------- protocol
 
@@ -618,7 +666,9 @@ class MultiprocEngine:
                 f"unknown phase {phase!r}; expected 'discovery' or 'update'"
             )
         transport = self._check(system)
-        self._ensure_plan(system, transport)
+        tracer = tracer_of(system)
+        with tracer.span("plan", shards=transport.shard_count):
+            self._ensure_plan(system, transport)
         plan = transport.plan
         assert plan is not None
         if phase == "discovery":
@@ -653,6 +703,8 @@ class MultiprocEngine:
         self, system, plan: ShardPlan, phase: str, origins: list[NodeId]
     ) -> list[dict]:
         """Spawn one worker per shard, run the phase, return their payloads."""
+        tracer = tracer_of(system)
+        ship_span = tracer.start_span("ship", shards=plan.shard_count)
         worlds = _worlds_from_system(system, plan)
         context = multiprocessing.get_context("spawn")
         inboxes = [context.Queue() for _ in range(plan.shard_count)]
@@ -667,18 +719,22 @@ class MultiprocEngine:
             worker.start()
         try:
             _await_replies(results, "ready", plan.shard_count, workers)
+            tracer.end_span(ship_span)
             for inbox in inboxes:
                 inbox.put(("start", phase, tuple(origins)))
-            _quiescence_rounds(
-                results,
-                inboxes,
-                plan.shard_count,
-                system.transport.max_messages,
-                workers,
-            )
-            for inbox in inboxes:
-                inbox.put(("stop",))
-            done = _await_replies(results, "done", plan.shard_count, workers)
+            with tracer.span("quiescence") as quiescence_span:
+                rounds = _quiescence_rounds(
+                    results,
+                    inboxes,
+                    plan.shard_count,
+                    system.transport.max_messages,
+                    workers,
+                )
+                quiescence_span.set(rounds=rounds)
+            with tracer.span("collect"):
+                for inbox in inboxes:
+                    inbox.put(("stop",))
+                done = _await_replies(results, "done", plan.shard_count, workers)
             return [payload for _shard, payload in sorted(done.items())]
         except BaseException:
             for worker in workers:
@@ -700,6 +756,8 @@ class MultiprocEngine:
         from repro.database.schema import RelationSchema
 
         collector = system.stats
+        tracer = tracer_of(system)
+        merge_span = tracer.start_span("merge", shards=len(payloads))
         delivered_by_shard: dict[int, int] = {}
         cross_shard = 0
         completion = 0.0
@@ -733,18 +791,14 @@ class MultiprocEngine:
                 node.state.edges |= state["edges"]
                 node.state.paths.update(state["paths"])
             # --- statistics: every delivery was recorded in exactly one
-            # worker (the recipient's), so summing is double-count free.
-            message_stats = payload["message_stats"]
-            collector.messages.total_messages += message_stats["total_messages"]
-            collector.messages.total_bytes += message_stats["total_bytes"]
-            collector.messages.by_type.update(message_stats["by_type"])
-            collector.messages.bytes_by_type.update(message_stats["bytes_by_type"])
-            for node_id, counters in payload["node_stats"].items():
-                node_stats = collector.node(node_id)
-                for field_name, value in counters.items():
-                    setattr(
-                        node_stats, field_name, getattr(node_stats, field_name) + value
-                    )
+            # worker (the recipient's), so summing via the shared registry
+            # merge path is double-count free.
+            collector.merge_counters(payload["counters"])
+            # --- telemetry: worker spans nest under the open run span,
+            # aligned for clock skew; chase profiles accumulate.
+            if tracer.enabled and "spans" in payload:
+                tracer.adopt(payload["spans"], clock=payload.get("trace_clock"))
+                tracer.chase.merge(payload.get("chase_profile", {}))
         if total_delivered > transport.max_messages:
             raise NetworkError(
                 f"exceeded {transport.max_messages} deliveries across shards; "
@@ -753,6 +807,7 @@ class MultiprocEngine:
         collector.advance_time(completion)
         collector.elapsed_wall_seconds += wall
         transport.record_run(delivered_by_shard, cross_shard)
+        tracer.end_span(merge_span, completion=completion)
         return completion
 
     def _traffic_stats(

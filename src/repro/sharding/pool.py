@@ -60,6 +60,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, cast
 from repro.coordination.rule import CoordinationRule, NodeId
 from repro.errors import NetworkError, ReproError
 from repro.database.relation import Row
+from repro.obs import NULL_TRACER, Tracer, get_logger, tracer_of
 from repro.sharding.multiproc import (
     _DRAIN_BATCH,
     MultiprocEngine,
@@ -81,6 +82,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 
 #: Facts as the pool mirrors them: per node, per relation, a row set.
 FactsMirror = dict[NodeId, dict[str, frozenset]]
+
+_log = get_logger("pool")
 
 
 # ------------------------------------------------------------------- deltas
@@ -315,16 +318,36 @@ def _pool_worker_main(world: ShardWorld, inboxes: list, results) -> None:
             world.max_messages,
             clock_start=world.clock_start,
         )
-        system = _build_worker_system(world, transport)
+        tracer = (
+            Tracer(trace_id=world.trace_id, process=f"shard-{world.shard_index}")
+            if world.trace_id is not None
+            else NULL_TRACER
+        )
+        transport.tracer = tracer
+        with tracer.span("build", shard=world.shard_index):
+            system = _build_worker_system(world, transport)
+        if tracer.enabled:
+            for node in system.nodes.values():
+                node.database.profile = tracer.chase
         results.put(("ready", world.shard_index))
+        chase_span = None
+        delivered_mark = 0
         while True:
             if transport.has_local_work:
+                if chase_span is None and tracer.enabled:
+                    chase_span = tracer.start_span("chase", shard=world.shard_index)
+                    delivered_mark = transport.delivered
                 try:
                     item = inbox.get_nowait()
                 except queue_module.Empty:
                     transport.drain(_DRAIN_BATCH)
                     continue
             else:
+                if chase_span is not None:
+                    tracer.end_span(
+                        chase_span, delivered=transport.delivered - delivered_mark
+                    )
+                    chase_span = None
                 item = inbox.get()
             kind = item[0]
             if kind == "start":
@@ -335,7 +358,8 @@ def _pool_worker_main(world: ShardWorld, inboxes: list, results) -> None:
             elif kind == "ping":
                 results.put(("status", world.shard_index, transport.status()))
             elif kind == "sync":
-                _apply_sync(system, world, item[1])
+                with tracer.span("sync", shard=world.shard_index):
+                    _apply_sync(system, world, item[1])
             elif kind == "collect":
                 payload = _worker_payload(system, world, transport, phase)
                 results.put(("collected", world.shard_index, payload))
@@ -488,7 +512,9 @@ class WorkerPool:
             self._mirror.note_synced(system)
         return delta
 
-    def run_phase(self, phase: str, origins: Iterable[NodeId]) -> list[dict]:
+    def run_phase(
+        self, phase: str, origins: Iterable[NodeId], *, tracer=None
+    ) -> list[dict]:
         """Drive one phase over the warm workers and collect their payloads.
 
         The run starts at the owned origins, reaches distributed quiescence
@@ -497,22 +523,26 @@ class WorkerPool:
         error closes the pool — a half-synced pool must never serve another
         run.
         """
+        tracer = tracer if tracer is not None else NULL_TRACER
         try:
             self._require_open()
             for inbox in self._inboxes:
                 inbox.put(("start", phase, tuple(origins)))
-            _quiescence_rounds(
-                self._results,
-                self._inboxes,
-                self.shard_count,
-                self._max_messages,
-                self._workers,
-            )
-            for inbox in self._inboxes:
-                inbox.put(("collect",))
-            collected = _await_replies(
-                self._results, "collected", self.shard_count, self._workers
-            )
+            with tracer.span("quiescence") as quiescence_span:
+                rounds = _quiescence_rounds(
+                    self._results,
+                    self._inboxes,
+                    self.shard_count,
+                    self._max_messages,
+                    self._workers,
+                )
+                quiescence_span.set(rounds=rounds)
+            with tracer.span("collect"):
+                for inbox in self._inboxes:
+                    inbox.put(("collect",))
+                collected = _await_replies(
+                    self._results, "collected", self.shard_count, self._workers
+                )
         except BaseException:
             self.close()
             raise
@@ -562,7 +592,9 @@ class PoolLike(Protocol):
 
     def sync(self, system: P2PSystem) -> SyncDelta: ...
 
-    def run_phase(self, phase: str, origins: Iterable[NodeId]) -> list[dict]: ...
+    def run_phase(
+        self, phase: str, origins: Iterable[NodeId], *, tracer=None
+    ) -> list[dict]: ...
 
 
 class WarmPoolLifecycle:
@@ -596,23 +628,30 @@ class WarmPoolLifecycle:
         Warm path: ship the delta, run the phase.
         """
         transport = cast("MultiprocTransport", system.transport)
+        tracer = tracer_of(system)
         planner = self.planner or ShardPlanner(transport.shard_count)
         pool = self._pool
         if pool is not None and not pool.alive:
+            _log.warning("warm pool died; respawning cold")
             pool.close()
             pool = self._pool = None
         if pool is not None:
             fresh_plan = pool.plan_if_stale(system, planner)
             if fresh_plan is not None:
+                _log.debug("rule graph re-partitioned the network; pool restarts")
                 pool.close()
                 pool = self._pool = None
                 transport.apply_plan(fresh_plan)
             else:
-                pool.sync(system)
+                with tracer.span("sync") as sync_span:
+                    delta = pool.sync(system)
+                    sync_span.set(empty=delta.empty)
         if pool is None:
-            pool = self._pool = self._spawn_pool(system, transport)
+            _log.debug("spawning worker pool (%d shards)", plan.shard_count)
+            with tracer.span("ship", shards=plan.shard_count):
+                pool = self._pool = self._spawn_pool(system, transport)
         try:
-            return pool.run_phase(phase, origins)
+            return pool.run_phase(phase, origins, tracer=tracer)
         except BaseException:
             # run_phase closed the pool; forget it so the next run respawns.
             self._pool = None

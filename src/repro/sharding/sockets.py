@@ -66,6 +66,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 from repro.coordination.rule import NodeId
 from repro.errors import NetworkError, ReproError
 from repro.network.latency import LatencyModel
+from repro.obs import NULL_TRACER, get_logger, tracer_of
 from repro.sharding.multiproc import (
     _WORKER_TIMEOUT,
     MultiprocEngine,
@@ -103,6 +104,8 @@ _SPAWN_TIMEOUT = 30.0
 _CONNECT_TIMEOUT = 10.0
 
 _FRAME_HEADER = struct.Struct(">Q")
+
+_log = get_logger("sockets")
 
 
 def parse_address(address: str) -> tuple[str, int]:
@@ -536,6 +539,7 @@ class _HostLink:
         self._sock.settimeout(_WORKER_TIMEOUT)
         self._writer = _FrameWriter(self._sock, max_frame)
         self.alive = True
+        _log.debug("connected to shard host %s", address)
         self._reader = threading.Thread(target=self._read_loop, daemon=True)
         self._reader.start()
 
@@ -805,28 +809,34 @@ class SocketPool:
             self._mirror.note_synced(system)
         return delta
 
-    def run_phase(self, phase: str, origins: Iterable[NodeId]) -> list[dict]:
+    def run_phase(
+        self, phase: str, origins: Iterable[NodeId], *, tracer=None
+    ) -> list[dict]:
         """Drive one phase over the hosted workers and collect their payloads."""
+        tracer = tracer if tracer is not None else NULL_TRACER
         try:
             self._require_open()
             origin_list = tuple(origins)
             for link in self._links:
                 link.send(("start", phase, origin_list))
-            _quiescence_rounds(
-                self._results,
-                [
-                    _PingChannel(self._links[self._host_of_shard[shard]], shard)
-                    for shard in range(self.shard_count)
-                ],
-                self.shard_count,
-                self._max_messages,
-                self._liveness,
-            )
-            for link in self._links:
-                link.send(("collect",))
-            collected = _await_replies(
-                self._results, "collected", self.shard_count, self._liveness
-            )
+            with tracer.span("quiescence") as quiescence_span:
+                rounds = _quiescence_rounds(
+                    self._results,
+                    [
+                        _PingChannel(self._links[self._host_of_shard[shard]], shard)
+                        for shard in range(self.shard_count)
+                    ],
+                    self.shard_count,
+                    self._max_messages,
+                    self._liveness,
+                )
+                quiescence_span.set(rounds=rounds)
+            with tracer.span("collect"):
+                for link in self._links:
+                    link.send(("collect",))
+                collected = _await_replies(
+                    self._results, "collected", self.shard_count, self._liveness
+                )
         except BaseException:
             self.close()
             raise
@@ -873,6 +883,7 @@ class LocalHostCluster:
         except BaseException:
             self.close()
             raise
+        _log.debug("spawned %d local shard host(s): %s", count, self.addresses)
         atexit.register(self.close)
 
     def _launch_one(self) -> subprocess.Popen:
@@ -942,6 +953,11 @@ class LocalHostCluster:
         """Respawn any host process that died; return the live addresses."""
         for index, process in enumerate(self._processes):
             if process.poll() is not None:
+                _log.warning(
+                    "local shard host %s died (exit %s); respawning",
+                    self.addresses[index],
+                    process.returncode,
+                )
                 self._reap(process)
                 replacement = self._launch_one()
                 self._processes[index] = replacement
@@ -1107,11 +1123,13 @@ class SocketEngine(MultiprocEngine):
         origins: Iterable[NodeId],
     ) -> list[dict]:
         transport = self._check(system)
-        pool = SocketPool.spawn(
-            system, plan, self._hosts_for(transport), max_frame=transport.max_frame
-        )
+        tracer = tracer_of(system)
+        with tracer.span("ship", shards=plan.shard_count):
+            pool = SocketPool.spawn(
+                system, plan, self._hosts_for(transport), max_frame=transport.max_frame
+            )
         try:
-            return pool.run_phase(phase, origins)
+            return pool.run_phase(phase, origins, tracer=tracer)
         finally:
             pool.close()
 

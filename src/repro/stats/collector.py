@@ -5,12 +5,24 @@ plus the super-peer's aggregation view of the paper's prototype: the transport
 reports every delivered message to it, and nodes report local query executions
 and local insertions.  Experiments read a :class:`StatsSnapshot` at the end of
 a run and the super-peer can reset all counters between runs.
+
+Since the observability layer landed, every counter lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` (``collector.registry``): the
+in-process engines bump registry counters through cached handles, worker
+processes ship their registries home as :meth:`dump_counters` payloads, and
+the coordinator folds them in with :meth:`merge_counters` — one aggregation
+code path for all engines, with :meth:`snapshot` assembling the familiar
+:class:`StatsSnapshot` view from the registry on demand.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.obs.metrics import Counter as MetricCounter
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -114,72 +126,150 @@ class StatsSnapshot:
         return sum(node.duplicate_queries for node in self.nodes.values())
 
 
+#: Registry counter name → :class:`NodeStats` field, one entry per counter.
+_NODE_METRICS: dict[str, str] = {
+    "repro_node_queries_total": "queries_executed",
+    "repro_node_duplicate_queries_total": "duplicate_queries",
+    "repro_node_updates_applied_total": "updates_applied",
+    "repro_node_tuples_received_total": "tuples_received",
+    "repro_node_tuples_inserted_total": "tuples_inserted",
+    "repro_node_messages_sent_total": "messages_sent",
+    "repro_node_messages_received_total": "messages_received",
+}
+_MESSAGES_TOTAL = "repro_messages_total"
+_MESSAGE_BYTES_TOTAL = "repro_message_bytes_total"
+
+
+class _NodeHandles:
+    """Cached registry-counter handles for one node's seven counters."""
+
+    __slots__ = tuple(_NODE_METRICS.values())
+
+    def __init__(self, registry: MetricsRegistry, node_id: str):
+        labels = {"node": node_id}
+        for metric_name, attr in _NODE_METRICS.items():
+            setattr(self, attr, registry.counter(metric_name, labels))
+
+
 class StatisticsCollector:
     """Mutable counters shared by the transport and all nodes of one system."""
 
     def __init__(self) -> None:
-        self.messages = MessageStats()
-        self._nodes: dict[str, NodeStats] = defaultdict(NodeStats)
+        self.registry = MetricsRegistry()
+        self.registry.describe(_MESSAGES_TOTAL, "Messages delivered, by type")
+        self.registry.describe(
+            _MESSAGE_BYTES_TOTAL, "Estimated message payload bytes, by type"
+        )
         self.simulated_time = 0.0
         self.elapsed_wall_seconds = 0.0
+        # Hot-path handle caches; dropped (and lazily re-created) on reset().
+        self._type_handles: dict[str, tuple[MetricCounter, MetricCounter]] = {}
+        self._node_handles: dict[str, _NodeHandles] = {}
 
     # --------------------------------------------------------------- recording
 
-    def node(self, node_id: str) -> NodeStats:
-        """The per-node counters for ``node_id`` (created on first access)."""
-        return self._nodes[node_id]
+    def _handles(self, node_id: str) -> _NodeHandles:
+        handles = self._node_handles.get(node_id)
+        if handles is None:
+            handles = self._node_handles[node_id] = _NodeHandles(
+                self.registry, node_id
+            )
+        return handles
 
     def record_message(
         self, message_type: str, sender: str, recipient: str, size: int
     ) -> None:
         """Record one message delivery (called by the transport)."""
-        self.messages.record(message_type, size)
-        self._nodes[sender].messages_sent += 1
-        self._nodes[recipient].messages_received += 1
+        type_handles = self._type_handles.get(message_type)
+        if type_handles is None:
+            type_handles = self._type_handles[message_type] = (
+                self.registry.counter(_MESSAGES_TOTAL, {"type": message_type}),
+                self.registry.counter(_MESSAGE_BYTES_TOTAL, {"type": message_type}),
+            )
+        type_handles[0].value += 1
+        type_handles[1].value += size
+        self._handles(sender).messages_sent.value += 1
+        self._handles(recipient).messages_received.value += 1
 
     def record_query(self, node_id: str, *, duplicate: bool = False) -> None:
         """Record a local query execution at ``node_id``."""
-        self._nodes[node_id].queries_executed += 1
+        handles = self._handles(node_id)
+        handles.queries_executed.value += 1
         if duplicate:
-            self._nodes[node_id].duplicate_queries += 1
+            handles.duplicate_queries.value += 1
 
     def record_update(
         self, node_id: str, *, received: int, inserted: int
     ) -> None:
         """Record one local-update application at ``node_id``."""
-        stats = self._nodes[node_id]
-        stats.updates_applied += 1
-        stats.tuples_received += received
-        stats.tuples_inserted += inserted
+        handles = self._handles(node_id)
+        handles.updates_applied.value += 1
+        handles.tuples_received.value += received
+        handles.tuples_inserted.value += inserted
 
     def advance_time(self, simulated_time: float) -> None:
         """Advance the simulated clock to ``simulated_time`` (monotonic)."""
         if simulated_time > self.simulated_time:
             self.simulated_time = simulated_time
 
+    # ----------------------------------------------------- cross-process merge
+
+    def dump_counters(self) -> dict:
+        """The picklable registry payload a worker ships to the coordinator."""
+        return self.registry.dump()
+
+    def merge_counters(self, dump: Mapping) -> None:
+        """Fold a worker's :meth:`dump_counters` payload into this collector."""
+        self.registry.merge(dump)
+
     # ------------------------------------------------------------- inspection
+
+    @property
+    def messages(self) -> MessageStats:
+        """The message-level counters, assembled from the registry."""
+        messages = MessageStats()
+        for counter in self.registry.counters.values():
+            if not counter.labels:
+                continue
+            label_value = counter.labels[0][1]
+            if counter.name == _MESSAGES_TOTAL:
+                messages.total_messages += counter.value
+                messages.by_type[label_value] += counter.value
+            elif counter.name == _MESSAGE_BYTES_TOTAL:
+                messages.total_bytes += counter.value
+                messages.bytes_by_type[label_value] += counter.value
+        return messages
+
+    def node(self, node_id: str) -> NodeStats:
+        """The per-node counters for ``node_id``, assembled from the registry."""
+        return self._assemble_nodes().get(node_id, NodeStats())
+
+    def _assemble_nodes(self) -> dict[str, NodeStats]:
+        nodes: dict[str, NodeStats] = {}
+        for counter in self.registry.counters.values():
+            attr = _NODE_METRICS.get(counter.name)
+            if attr is None or not counter.labels:
+                continue
+            node_id = counter.labels[0][1]
+            stats = nodes.get(node_id)
+            if stats is None:
+                stats = nodes[node_id] = NodeStats()
+            setattr(stats, attr, getattr(stats, attr) + counter.value)
+        return nodes
 
     def snapshot(self) -> StatsSnapshot:
         """An immutable copy of all counters."""
-        messages = MessageStats(
-            total_messages=self.messages.total_messages,
-            total_bytes=self.messages.total_bytes,
-            by_type=Counter(self.messages.by_type),
-            bytes_by_type=Counter(self.messages.bytes_by_type),
-        )
-        nodes = {
-            node_id: NodeStats(**vars(stats)) for node_id, stats in self._nodes.items()
-        }
         return StatsSnapshot(
-            messages=messages,
-            nodes=nodes,
+            messages=self.messages,
+            nodes=self._assemble_nodes(),
             simulated_time=self.simulated_time,
             elapsed_wall_seconds=self.elapsed_wall_seconds,
         )
 
     def reset(self) -> None:
         """Reset every counter (the super-peer's "reset statistics at all peers")."""
-        self.messages = MessageStats()
-        self._nodes.clear()
+        self.registry.reset()
+        self._type_handles.clear()
+        self._node_handles.clear()
         self.simulated_time = 0.0
         self.elapsed_wall_seconds = 0.0
