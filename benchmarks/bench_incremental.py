@@ -1,0 +1,97 @@
+"""Incremental (delta-driven) warm repeats vs cold naive runs.
+
+The claim under measurement (model in ``docs/incremental.md``): once a
+pooled network has converged, a repeat update whose only change is a
+single inserted base row costs O(delta), not O(db).  The warm workers
+receive the insert delta, seed the semi-naive chase with it, and push
+only its consequences — no re-pull rounds, no full re-evaluation.
+
+The gate is the ISSUE acceptance bar: on the 127-node layered workload
+(a complete binary tree is the layered-acyclic family's canonical
+instance at that size) the warm one-row repeat must be at least 5x
+faster than the cold run.  The 511-node variant carries the ``slow``
+marker and stays out of the CI smoke sweep.
+"""
+
+import time
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import ScenarioSpec
+from repro.workloads.topologies import tree_topology
+
+
+def _insert_feeding_row(system, tag: str):
+    """Insert one fresh row that is guaranteed to cascade downstream.
+
+    Targets the exporter of the first single-atom-body coordination rule
+    (a plain copy rule — every DBLP topology has them), so the delta path
+    has real consequences to derive rather than a no-op seed.
+    """
+    rule = next(
+        rule
+        for rule in sorted(system.registry, key=lambda rule: rule.rule_id)
+        if len(rule.body) == 1
+    )
+    exporter, atom = rule.body[0]
+    row = tuple(f"{tag}-{i}" for i in range(len(atom.terms)))
+    system.node(exporter).database.relation(atom.relation).insert(row)
+
+
+def _run_warm_insert_bench(benchmark, *, depth: int, nodes: int, min_speedup: float):
+    spec = ScenarioSpec.from_topology(
+        tree_topology(depth, 2), records_per_node=3, seed=0
+    ).with_(transport="pooled", shards=2)
+    session = Session.from_spec(spec, capture_deltas=False)
+    try:
+        started = time.perf_counter()
+        first = session.run("update")  # cold: spawn, ship, full naive chase
+        cold_wall = time.perf_counter() - started
+        assert first.engine == "pooled"
+
+        warm_walls = []
+        rounds = 0
+
+        def warm_insert_run():
+            nonlocal rounds
+            rounds += 1
+            _insert_feeding_row(session.system, f"delta{rounds}")
+            started = time.perf_counter()
+            result = session.run("update")
+            warm_walls.append(time.perf_counter() - started)
+            return result
+
+        result = benchmark.pedantic(warm_insert_run, rounds=3, iterations=1)
+        assert result.engine == "pooled"
+        warm_mean = sum(warm_walls) / len(warm_walls)
+        totals = session.system.stats.incremental_totals()
+        benchmark.extra_info.update(
+            nodes=nodes,
+            shards=2,
+            cold_wall=round(cold_wall, 3),
+            warm_mean_wall=round(warm_mean, 4),
+            speedup=round(cold_wall / warm_mean, 1),
+            incremental_seed_rows=totals["repro_incremental_seed_rows_total"],
+            incremental_rows_derived=totals[
+                "repro_incremental_rows_derived_total"
+            ],
+        )
+        # Every warm repeat took the delta path: one seed row per round.
+        assert totals["repro_incremental_seed_rows_total"] == rounds
+        assert totals["repro_incremental_rows_derived_total"] >= rounds
+        # The acceptance bar: warm one-row repeat >= min_speedup x faster.
+        assert warm_mean * min_speedup <= cold_wall
+    finally:
+        session.close()
+
+
+def test_bench_incremental_warm_insert_127(benchmark):
+    """Warm 1-row-insert repeat vs cold run, 127-node tree (2 shards)."""
+    _run_warm_insert_bench(benchmark, depth=6, nodes=127, min_speedup=5.0)
+
+
+@pytest.mark.slow
+def test_bench_incremental_warm_insert_511(benchmark):
+    """The 511-node variant — same shape, slow-marked, out of CI smoke."""
+    _run_warm_insert_bench(benchmark, depth=8, nodes=511, min_speedup=5.0)

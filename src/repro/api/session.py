@@ -48,6 +48,7 @@ from repro.obs import Tracer
 from repro.stats.collector import StatsSnapshot
 
 if TYPE_CHECKING:
+    from repro.coordination.changeset import StructuralDigest
     from repro.core.system import P2PSystem
 
 #: Process-wide default for the pre-flight gate of :meth:`Session.from_spec`.
@@ -463,20 +464,19 @@ class Session:
             return None
         return key
 
-    def _state_fingerprint(self) -> tuple:
+    def _state_fingerprint(self) -> "StructuralDigest":
         """A hashable digest of the rule set and every relation's contents.
 
         This is what makes cache invalidation structural: ``addLink`` /
         ``deleteLink`` changes the rule part, and any insertion — a chase, a
         distributed run, a bulk load — changes the data part, so stale
-        entries can never be served.
+        entries can never be served.  The digest is the shared
+        :class:`~repro.coordination.changeset.StructuralDigest` — the same
+        fingerprint the warm pools' :class:`~repro.sharding.pool.WorldMirror`
+        computes over its mirrored worker state, so "has anything changed?"
+        has exactly one definition across the codebase.
         """
-        rules = tuple(str(rule) for rule in self.system.registry)
-        data = tuple(
-            (node_id, tuple(sorted(relations.items())))
-            for node_id, relations in sorted(self.system.databases().items())
-        )
-        return (rules, data)
+        return self.system.structural_digest()
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss counters and current size of the strategy cache."""

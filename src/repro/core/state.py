@@ -113,6 +113,18 @@ class NodeState:
     pushed_fragments: dict[tuple[str, NodeId], frozenset[tuple]] = field(
         default_factory=dict
     )
+    # -- incremental (delta-driven) update bookkeeping -----------------------
+    # Rows inserted into this node's database since the last naive run, in
+    # insertion order: base-data inserts seeded by a sync plus every row the
+    # incremental chase derived here.  ``fragment_cache`` holds each outgoing
+    # rule's last fully-evaluated fragment and ``fragment_mark`` the log
+    # length it was computed at, so a fragment refresh only has to join the
+    # log suffix (semi-naive) instead of re-evaluating over the whole
+    # database.  All three are cleared by any naive run (see
+    # UpdateProtocol.invalidate_incremental).
+    delta_log: list[tuple[str, tuple]] = field(default_factory=list)
+    fragment_cache: dict[str, frozenset[tuple]] = field(default_factory=dict)
+    fragment_mark: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ reset
 
@@ -141,6 +153,9 @@ class NodeState:
         self.rerun_requested = False
         self.rounds_completed = 0
         self.pushed_fragments.clear()
+        self.delta_log.clear()
+        self.fragment_cache.clear()
+        self.fragment_mark.clear()
 
     # ------------------------------------------------------------- inspection
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import warnings
 from typing import Iterable, Mapping
 
+from repro.coordination.changeset import ChangeSet, StructuralDigest, digest_system
 from repro.coordination.depgraph import DependencyGraph
 from repro.coordination.registry import RuleRegistry
 from repro.coordination.rule import CoordinationRule, NodeId
@@ -206,6 +207,40 @@ class P2PSystem:
             node = self.node(node_id)
             for relation_name, rows in relations.items():
                 node.database.insert_many(relation_name, rows)
+
+    def structural_digest(self) -> StructuralDigest:
+        """One hashable digest of the rule set and every relation's contents.
+
+        This is the single structural fingerprint shared by the
+        ``Session.update`` strategy-memo cache and the warm pools'
+        :class:`~repro.sharding.pool.WorldMirror`: equal digests mean the
+        same rules and the same rows everywhere, and any ``addLink`` /
+        ``deleteLink`` / insertion changes it by construction.
+        """
+        return digest_system(self)
+
+    def seed_update_delta(
+        self, changes: ChangeSet, *, nodes: Iterable[NodeId] | None = None
+    ) -> int:
+        """Start the incremental update at every node ``changes`` touched.
+
+        The delta-driven counterpart of starting a naive update at every
+        origin: each node with inserted base rows seeds its delta frontier
+        and pushes semi-naive fragment deltas to its registered dependants
+        (see :meth:`repro.core.update.UpdateProtocol.start_incremental`).
+        ``nodes`` restricts seeding (the shard workers pass their owned
+        peers).  Returns the number of nodes seeded.
+        """
+        allowed = None if nodes is None else set(nodes)
+        seeded = 0
+        for node_id, relations in sorted(changes.inserts.items()):
+            if allowed is not None and node_id not in allowed:
+                continue
+            if node_id not in self.nodes:
+                continue
+            self.nodes[node_id].update.start_incremental(relations)
+            seeded += 1
+        return seeded
 
     # ------------------------------------------------------------- properties
 

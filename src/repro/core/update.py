@@ -45,6 +45,24 @@ node therefore supports two policies (see DESIGN.md):
   its queries only the first time it is reached in an update run.  The
   owners-push mechanism still delivers every later data change, so the final
   fix-point is identical; only the number of (duplicate) messages differs.
+
+Incremental (delta-driven) mode
+-------------------------------
+On top of the naive pull rounds, the protocol supports an *incremental* mode
+used by the warm engines for repeat runs whose only change since the last
+converged run is row insertion (see ``docs/incremental.md``).  No queries are
+sent at all: a node whose base data changed calls :meth:`start_incremental`,
+which logs the inserted rows and pushes semi-naive fragment *deltas* to the
+dependants already registered in its ``owner`` table by the previous run.  A
+receiver handles such an answer (payload flag ``incremental``) by joining
+only the fresh rows against its cached fragments
+(:func:`join_fragments` with a delta source), applying the result through
+the same A6 chase step, and cascading its own incremental pushes when rows
+were actually inserted.  Nodes stay ``closed`` throughout — the previous
+run's fix-point plus the monotone delta propagation is the new fix-point
+(Lemma 1), and quiescence is detected by the engines' existing barriers.
+The mode changes *work*, never *results*: deterministic labelled nulls make
+the final databases bit-identical to a naive re-run.
 """
 
 from __future__ import annotations
@@ -53,7 +71,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.coordination.rule import CoordinationRule, NodeId
 from repro.core.state import OwnerEntry, PathFlags, RuleFlags, UpdateState
-from repro.database.evaluate import evaluate_body
+from repro.database.evaluate import evaluate_body, evaluate_body_delta
 from repro.database.query import Constant, Variable
 from repro.network.message import Message, MessageType
 
@@ -93,9 +111,34 @@ def evaluate_fragment(node: "PeerNode", rule: CoordinationRule) -> Fragment:
     return fragment_for(node.database, rule, node.node_id)
 
 
+def fragment_delta_for(
+    database,
+    rule: CoordinationRule,
+    node_id: NodeId,
+    delta: Mapping[str, Iterable[tuple]],
+) -> Fragment:
+    """Semi-naive fragment refresh: rows of the fragment that touch ``delta``.
+
+    ``delta`` maps relation names to rows recently inserted into
+    ``database``.  The result is a *subset* of :func:`fragment_for` — every
+    fragment row whose derivation uses at least one delta row — so a cached
+    fragment unioned with this delta equals the full re-evaluation, at cost
+    proportional to the delta.
+    """
+    query = rule.body_query_for(node_id)
+    variables = query.body_variables
+    answers = set()
+    for binding in evaluate_body_delta(database, query, delta):
+        answers.add(tuple(binding[variable] for variable in variables))
+    return frozenset(answers)
+
+
 def join_fragments(
     rule: CoordinationRule,
     fragments: Mapping[NodeId, Iterable[tuple]],
+    *,
+    delta_source: NodeId | None = None,
+    delta_rows: Iterable[tuple] | None = None,
 ) -> set[tuple]:
     """Join per-source fragments and project onto the distinguished variables.
 
@@ -103,16 +146,32 @@ def join_fragments(
     ``rule.distinguished_variables``.  Sources with no fragment yet make the
     result empty — the rule simply cannot fire until every source answered at
     least once.
+
+    With ``delta_source``/``delta_rows`` the join is *semi-naive*: the delta
+    source is joined first and restricted to ``delta_rows`` (the rows of its
+    fragment that are new), so only firings that use at least one new row are
+    produced — the firings over the old rows were already computed when they
+    arrived.
     """
-    sources = rule.sources
+    sources = list(rule.sources)
     for source in sources:
         if source not in fragments:
             return set()
+    if delta_source is not None:
+        if delta_source not in sources:
+            return set()
+        # Stable reorder: the delta source first, the rest in rule order.
+        sources.sort(key=lambda source: source != delta_source)
 
     bindings: list[dict[Variable, object]] = [{}]
     for source in sources:
         variables = fragment_variables(rule, source)
-        fragment_rows = fragments[source]
+        if delta_source is not None and source == delta_source:
+            fragment_rows: Iterable[tuple] = (
+                delta_rows if delta_rows is not None else fragments[source]
+            )
+        else:
+            fragment_rows = fragments[source]
         new_bindings: list[dict[Variable, object]] = []
         for binding in bindings:
             for row in fragment_rows:
@@ -188,6 +247,9 @@ class UpdateProtocol:
         """
         node = self.node
         state = node.state
+        # A naive run re-derives everything below, so the incremental
+        # bookkeeping no longer describes "changes since the last push".
+        self.invalidate_incremental()
         if not node.incoming_rules:
             state.state_u = UpdateState.CLOSED
             return
@@ -245,6 +307,152 @@ class UpdateProtocol:
         else:
             self._start_round((node.node_id,))
 
+    # ------------------------------------------------------- incremental mode
+
+    def invalidate_incremental(self) -> None:
+        """Drop the delta log and fragment caches (any naive run does this).
+
+        After invalidation the next incremental push falls back to one full
+        fragment evaluation per rule (re-seeding the caches); correctness
+        never depends on the caches being present.
+        """
+        state = self.node.state
+        state.delta_log.clear()
+        state.fragment_cache.clear()
+        state.fragment_mark.clear()
+
+    def start_incremental(self, changes: Mapping[str, Iterable[tuple]]) -> None:
+        """Seed the delta frontier at this node (incremental update run).
+
+        ``changes`` maps relation names to rows *already inserted* into this
+        node's database (the warm engines apply the sync delta before
+        starting the phase).  No queries are sent and the node stays in
+        whatever ``state_u`` the previous converged run left it in: the new
+        rows are appended to the delta log and semi-naive fragment deltas
+        are pushed to the dependants registered in ``owner`` by the previous
+        run.  Receivers cascade through :meth:`on_answer`'s incremental
+        branch until the frontier is empty — the engines' quiescence
+        barriers detect exactly that.
+        """
+        node = self.node
+        state = node.state
+        seeded = 0
+        for relation_name, rows in sorted(changes.items()):
+            for row in rows:
+                state.delta_log.append((relation_name, row))
+                seeded += 1
+        if seeded:
+            node.stats.record_incremental(node.node_id, seed_rows=seeded)
+        self._push_to_owners_incremental()
+
+    def _incremental_fragment(self, rule: CoordinationRule) -> Fragment:
+        """The rule's current full fragment, refreshed via the delta log.
+
+        A cold cache (first incremental run after a naive one, or after
+        :meth:`invalidate_incremental`) costs one full evaluation; from then
+        on only the delta-log suffix since the last refresh is joined
+        (semi-naive), which is what makes a cascade of pushes cost
+        proportional to the change.
+        """
+        node = self.node
+        state = node.state
+        rule_id = rule.rule_id
+        log = state.delta_log
+        cached = state.fragment_cache.get(rule_id)
+        if cached is None:
+            fragment = evaluate_fragment(node, rule)
+        else:
+            mark = state.fragment_mark.get(rule_id, 0)
+            if mark >= len(log):
+                return cached
+            delta: dict[str, list[tuple]] = {}
+            for relation_name, row in log[mark:]:
+                delta.setdefault(relation_name, []).append(row)
+            fresh = fragment_delta_for(node.database, rule, node.node_id, delta)
+            fragment = cached if fresh <= cached else frozenset(cached | fresh)
+        state.fragment_cache[rule_id] = fragment
+        state.fragment_mark[rule_id] = len(log)
+        return fragment
+
+    def _push_to_owners_incremental(self) -> None:
+        """Push fragment *deltas* to every registered dependant.
+
+        The incremental counterpart of :meth:`_push_to_owners`: fragments
+        are refreshed semi-naively and each (rule, requester) pair receives
+        only the rows not yet pushed to it, tagged ``incremental`` so the
+        receiver joins them as a delta.  Pairs with nothing new are skipped
+        entirely, which is what terminates the cascade.
+        """
+        node = self.node
+        state = node.state
+        pushes = 0
+        for entry in state.update_owner:
+            if entry.requester is None or entry.rule_id is None:
+                continue
+            rule = node.outgoing_rules.get(entry.rule_id)
+            if rule is None:
+                continue
+            fragment = self._incremental_fragment(rule)
+            key = (entry.rule_id, entry.requester)
+            previous = state.pushed_fragments.get(key, frozenset())
+            fresh = fragment - previous
+            if not fresh:
+                continue
+            state.pushed_fragments[key] = fragment
+            pushes += 1
+            node.send(
+                entry.requester,
+                MessageType.ANSWER,
+                {
+                    "rule_id": entry.rule_id,
+                    "source": node.node_id,
+                    "tuples": fresh,
+                    "complete": state.state_u == UpdateState.CLOSED,
+                    "path": (node.node_id,),
+                    "incremental": True,
+                },
+            )
+        if pushes:
+            node.stats.record_incremental(node.node_id, pushes=pushes)
+
+    def _on_incremental_answer(
+        self,
+        rule: CoordinationRule,
+        rule_id: str,
+        source: NodeId,
+        tuples: Fragment,
+    ) -> None:
+        """A5, delta-driven: join only the fresh rows, apply, cascade."""
+        node = self.node
+        state = node.state
+        previous = state.fragments.get((rule_id, source), frozenset())
+        fresh = tuples - previous
+        if not fresh:
+            node.stats.record_update(node.node_id, received=len(tuples), inserted=0)
+            return
+        state.fragments[(rule_id, source)] = frozenset(previous | fresh)
+        fragments = {
+            src: state.fragments.get((rule_id, src), frozenset())
+            for src in rule.sources
+        }
+        answers = join_fragments(
+            rule, fragments, delta_source=source, delta_rows=fresh
+        )
+        inserted = node.database.apply_view_tuples(
+            rule_id, rule.head, rule.distinguished_variables, answers
+        )
+        node.stats.record_update(
+            node.node_id, received=len(tuples), inserted=len(inserted)
+        )
+        if inserted:
+            head_relation = rule.head.relation
+            for row in inserted:
+                state.delta_log.append((head_relation, row))
+            node.stats.record_incremental(
+                node.node_id, rules_fired=1, rows_derived=len(inserted)
+            )
+            self._push_to_owners_incremental()
+
     # ------------------------------------------------------------------- A4
 
     def on_query(self, message: Message) -> None:
@@ -274,6 +482,11 @@ class UpdateProtocol:
             )
 
         fragment = evaluate_fragment(node, rule)
+        # A query answer *is* a push of the full fragment: recording it keeps
+        # the push-suppression ledger exact, so neither a later naive
+        # `_push_to_owners` nor an incremental delta push re-sends rows the
+        # requester already received in this answer.
+        state.pushed_fragments[(rule_id, requester)] = fragment
         node.send(
             requester,
             MessageType.ANSWER,
@@ -330,6 +543,13 @@ class UpdateProtocol:
         rule = node.incoming_rules.get(rule_id)
         if rule is None:
             # Rule deleted while the answer was in flight: drop it.
+            return
+
+        if message.payload.get("incremental"):
+            # A delta push from an incremental run: the fresh rows are joined
+            # semi-naively against the cached fragments, with no effect on the
+            # naive round bookkeeping below (incremental runs have no rounds).
+            self._on_incremental_answer(rule, rule_id, source, tuples)
             return
 
         flags = state.rule_flags.setdefault(rule_id, RuleFlags())

@@ -6,6 +6,20 @@ against its relation using the per-position hash indexes of
 :class:`~repro.database.relation.Relation`, and built-in comparisons are
 checked as soon as both sides are bound.  This is ample for the paper's
 workload sizes (about a thousand tuples per node) while staying easy to audit.
+
+Two evaluation modes share that machinery (see ``docs/incremental.md``):
+
+* **naive** — :func:`evaluate_body` / :func:`evaluate_query` enumerate every
+  binding of the full body over the full database; this is what cold runs
+  and the one-shot engines always use.
+* **semi-naive** — :func:`evaluate_body_delta` takes a *delta* (rows recently
+  inserted into the database) and yields only bindings that touch at least
+  one delta row: each body atom whose relation appears in the delta is
+  seeded with the delta rows in turn while the remaining atoms join against
+  the full database.  Since any derivation that is *new* since the delta was
+  applied must use at least one delta row, the union over seed atoms covers
+  exactly the new derivations — at cost proportional to the delta, not the
+  database.
 """
 
 from __future__ import annotations
@@ -88,26 +102,29 @@ def _match_atom(
         candidates = relation.lookup(probe_position, probe_value)
 
     for row in candidates:
-        extended = dict(binding)
-        consistent = True
-        for position, term in enumerate(atom.terms):
-            value = row[position]
-            if isinstance(term, Constant):
-                if term.value != value:
-                    consistent = False
-                    break
-            else:
-                bound = extended.get(term, _UNBOUND)
-                if bound is _UNBOUND:
-                    extended[term] = value
-                elif bound != value:
-                    consistent = False
-                    break
-        if consistent:
+        extended = _extend_binding(atom, row, binding)
+        if extended is not None:
             yield extended
 
 
 _UNBOUND = object()
+
+
+def _extend_binding(atom: Atom, row: tuple, binding: Binding) -> Binding | None:
+    """Extend ``binding`` so that ``atom`` matches ``row``, or None on clash."""
+    extended = dict(binding)
+    for position, term in enumerate(atom.terms):
+        value = row[position]
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            bound = extended.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                extended[term] = value
+            elif bound != value:
+                return None
+    return extended
 
 
 def _comparisons_hold(
@@ -138,11 +155,13 @@ def _comparisons_hold(
     return True
 
 
-def evaluate_body(
-    database: "LocalDatabase", query: ConjunctiveQuery
+def _extend_over(
+    database: "LocalDatabase",
+    query: ConjunctiveQuery,
+    ordered: list[Atom],
+    seed: Binding,
 ) -> Iterator[Binding]:
-    """Yield every binding of the body variables that satisfies the query body."""
-    ordered = _order_atoms(database, query.body)
+    """Complete ``seed`` over ``ordered`` atoms, checking comparisons early."""
 
     def extend(index: int, binding: Binding) -> Iterator[Binding]:
         if not _comparisons_hold(query.comparisons, binding, partial=True):
@@ -154,7 +173,55 @@ def evaluate_body(
         for extended in _match_atom(database, ordered[index], binding):
             yield from extend(index + 1, extended)
 
-    yield from extend(0, {})
+    yield from extend(0, seed)
+
+
+def evaluate_body(
+    database: "LocalDatabase", query: ConjunctiveQuery
+) -> Iterator[Binding]:
+    """Yield every binding of the body variables that satisfies the query body."""
+    yield from _extend_over(database, query, _order_atoms(database, query.body), {})
+
+
+def evaluate_body_delta(
+    database: "LocalDatabase",
+    query: ConjunctiveQuery,
+    delta: Mapping[str, Iterable[tuple]],
+) -> Iterator[Binding]:
+    """Semi-naive evaluation: yield only bindings that touch a delta row.
+
+    ``delta`` maps relation names to rows recently *inserted* into
+    ``database`` (the rows must already be present — this restricts the
+    search, it does not extend the database).  Each body atom whose relation
+    appears in the delta is used as the seed in turn: the atom is bound to
+    the delta rows only, and the remaining atoms join against the full
+    database.  Any derivation that is new since the delta was applied uses
+    at least one delta row, so the union over seed atoms covers exactly the
+    new derivations.  A binding joining several delta rows is yielded once
+    per seed atom it matches — callers accumulate answers into sets, so the
+    duplicates are harmless and the single pass stays cheap.
+    """
+    delta_rows = {
+        name: tuple(rows) for name, rows in delta.items() if rows
+    }
+    if not delta_rows:
+        return
+    atoms = list(query.body)
+    for seed_index, seed_atom in enumerate(atoms):
+        rows = delta_rows.get(seed_atom.relation)
+        if not rows:
+            continue
+        rest = atoms[:seed_index] + atoms[seed_index + 1 :]
+        ordered = _order_atoms(database, rest)
+        for row in rows:
+            if len(row) != seed_atom.arity:
+                raise QueryError(
+                    f"delta row {row!r} does not match the arity of atom "
+                    f"{seed_atom}"
+                )
+            seeded = _extend_binding(seed_atom, row, {})
+            if seeded is not None:
+                yield from _extend_over(database, query, ordered, seeded)
 
 
 def evaluate_query(

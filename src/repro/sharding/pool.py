@@ -57,6 +57,13 @@ import traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, cast
 
+from repro.coordination.changeset import (
+    ChangeAccumulator,
+    ChangeSet,
+    StructuralDigest,
+    rules_fingerprint as _rules_fingerprint,
+    structural_digest,
+)
 from repro.coordination.rule import CoordinationRule, NodeId
 from repro.errors import NetworkError, ReproError
 from repro.database.relation import Row
@@ -138,10 +145,12 @@ class SyncDelta:
 def rules_fingerprint(system: P2PSystem) -> dict[str, str]:
     """``rule_id -> str(rule)`` for the system's current rule set.
 
-    The string form captures body, head and comparisons, so editing a rule
-    under the same id reads as remove + add.
+    Delegates to the shared fingerprint in
+    :mod:`repro.coordination.changeset` (the same one the structural digest
+    is built from), so editing a rule under the same id reads as remove +
+    add everywhere.
     """
-    return {rule.rule_id: str(rule) for rule in system.registry}
+    return _rules_fingerprint(system.registry)
 
 
 def compute_sync_delta(
@@ -209,9 +218,9 @@ class WorldMirror:
     def __init__(self, worlds):
         # The mirror starts as the worlds' own rule set and data slices:
         # that is exactly what the workers load at build time.
-        self.rules: dict[str, str] = {
-            rule.rule_id: str(rule) for rule in (worlds[0].rules if worlds else ())
-        }
+        self.rules: dict[str, str] = _rules_fingerprint(
+            worlds[0].rules if worlds else ()
+        )
         self.facts: FactsMirror = {}
         for world in worlds:
             for node_id, relations in world.data_slice.items():
@@ -220,13 +229,24 @@ class WorldMirror:
                     for relation, rows in relations.items()
                 }
 
+    def digest(self) -> StructuralDigest:
+        """The mirrored state's structural digest.
+
+        The same :class:`~repro.coordination.changeset.StructuralDigest` that
+        ``Session.update`` keys its memo cache on and
+        :meth:`P2PSystem.structural_digest
+        <repro.core.system.P2PSystem.structural_digest>` computes live — one
+        fingerprint definition, two consumers.
+        """
+        return structural_digest(self.rules, self.facts)
+
     def delta(self, system: P2PSystem) -> SyncDelta:
         """What changed in the coordinator since the workers last synced."""
         return compute_sync_delta(system, self.rules, self.facts)
 
     def note_synced(self, system: P2PSystem) -> None:
         """Record that the workers now hold the coordinator's current state."""
-        self.rules = rules_fingerprint(system)
+        self.rules = _rules_fingerprint(system.registry)
         for node_id, node in system.nodes.items():
             self.facts[node_id] = dict(node.database.facts())
 
@@ -247,7 +267,7 @@ class WorldMirror:
         move — the caller must restart its workers over the new partition,
         because data slices live in worker memory.
         """
-        if rules_fingerprint(system) == self.rules:
+        if _rules_fingerprint(system.registry) == self.rules:
             return None
         fresh = planner.plan_system(system)
         if dict(fresh.shard_of) == dict(plan.shard_of):
@@ -282,6 +302,38 @@ def _apply_sync(system: P2PSystem, world: ShardWorld, delta: dict) -> None:
             node.database.relation(relation_name).insert_many(rows)
 
 
+def _start_incremental_phase(
+    system: P2PSystem,
+    world: ShardWorld,
+    changes: ChangeSet,
+    origins: Iterable[NodeId],
+) -> None:
+    """Kick an incremental update off inside a worker: seed owned dirty nodes.
+
+    The delta-driven counterpart of
+    :func:`repro.sharding.multiproc._start_worker_phase`: instead of opening
+    every owned origin for naive pull rounds, only the owned nodes that
+    actually received inserts since the last converged run seed their delta
+    frontier (see :meth:`repro.core.update.UpdateProtocol.start_incremental`).
+    Nodes untouched by the delta do nothing until a fragment push reaches
+    them — that is the whole point of the incremental mode.
+    """
+    allowed = set(world.owned) & set(origins)
+    system.seed_update_delta(changes, nodes=allowed)
+
+
+def _invalidate_incremental(system: P2PSystem, world: ShardWorld) -> None:
+    """Drop incremental bookkeeping on every owned node before a naive run.
+
+    A naive ``start()`` invalidates the origin's own bookkeeping, but a run
+    may start at a subset of origins while fragment caches on *other* owned
+    nodes also go stale once pull rounds rewrite their fragments — so a
+    naive update start clears all owned nodes wholesale.
+    """
+    for node_id in world.owned:
+        system.node(node_id).update.invalidate_incremental()
+
+
 def _reset_run_counters(transport: _WorkerTransport) -> None:
     """Zero the per-run counters after a collect (the clock stays).
 
@@ -306,9 +358,20 @@ def _pool_worker_main(world: ShardWorld, inboxes: list, results) -> None:
     the next run starts from a clean ledger.  ``stop`` ends the process.
     Inbox commands are FIFO per worker, so a ``sync`` queued before a
     ``start`` is always applied before the phase begins.
+
+    Every ``sync`` delta is also folded into a worker-side
+    :class:`~repro.coordination.changeset.ChangeAccumulator`.  When a
+    ``start`` arrives for the update phase, the accumulated changes are
+    consumed: if the coordinator requested ``mode="incremental"`` *and* the
+    worker's own accumulator agrees the changes were insert-only
+    (``incremental_ok``), the owned dirty nodes seed their delta frontier
+    instead of re-opening for naive pull rounds.  The worker-side check is
+    authoritative — a coordinator that over-asks (say, after a rule change
+    it did not notice) still gets a correct naive run.
     """
     inbox = inboxes[world.shard_index]
     phase = "update"
+    pending = ChangeAccumulator()
     try:
         transport = _WorkerTransport(
             world.shard_index,
@@ -352,7 +415,18 @@ def _pool_worker_main(world: ShardWorld, inboxes: list, results) -> None:
             kind = item[0]
             if kind == "start":
                 phase = item[1]
-                _start_worker_phase(system, world, phase, item[2])
+                mode = item[3] if len(item) > 3 else None
+                if phase == "update":
+                    changes = pending.take()
+                    if mode == "incremental" and changes.incremental_ok:
+                        _start_incremental_phase(system, world, changes, item[2])
+                    else:
+                        _invalidate_incremental(system, world)
+                        _start_worker_phase(system, world, phase, item[2])
+                else:
+                    # Discovery runs neither consume nor stale the pending
+                    # delta; it still belongs to the next update start.
+                    _start_worker_phase(system, world, phase, item[2])
             elif kind == "msg":
                 transport.receive_cross(item[1], item[2])
             elif kind == "ping":
@@ -360,6 +434,7 @@ def _pool_worker_main(world: ShardWorld, inboxes: list, results) -> None:
             elif kind == "sync":
                 with tracer.span("sync", shard=world.shard_index):
                     _apply_sync(system, world, item[1])
+                    pending.note_sync_payload(item[1])
             elif kind == "collect":
                 payload = _worker_payload(system, world, transport, phase)
                 results.put(("collected", world.shard_index, payload))
@@ -513,21 +588,29 @@ class WorkerPool:
         return delta
 
     def run_phase(
-        self, phase: str, origins: Iterable[NodeId], *, tracer=None
+        self,
+        phase: str,
+        origins: Iterable[NodeId],
+        *,
+        tracer=None,
+        mode: str | None = None,
     ) -> list[dict]:
         """Drive one phase over the warm workers and collect their payloads.
 
         The run starts at the owned origins, reaches distributed quiescence
         through the shared cumulative-counter barrier, then ``collect`` ships
-        every shard's per-run state home (the workers keep running).  Any
-        error closes the pool — a half-synced pool must never serve another
-        run.
+        every shard's per-run state home (the workers keep running).
+        ``mode="incremental"`` asks the workers for the delta-driven update
+        path; each worker double-checks eligibility against its own
+        accumulated sync deltas and falls back to naive when they disagree.
+        Any error closes the pool — a half-synced pool must never serve
+        another run.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
         try:
             self._require_open()
             for inbox in self._inboxes:
-                inbox.put(("start", phase, tuple(origins)))
+                inbox.put(("start", phase, tuple(origins), mode))
             with tracer.span("quiescence") as quiescence_span:
                 rounds = _quiescence_rounds(
                     self._results,
@@ -593,7 +676,12 @@ class PoolLike(Protocol):
     def sync(self, system: P2PSystem) -> SyncDelta: ...
 
     def run_phase(
-        self, phase: str, origins: Iterable[NodeId], *, tracer=None
+        self,
+        phase: str,
+        origins: Iterable[NodeId],
+        *,
+        tracer=None,
+        mode: str | None = None,
     ) -> list[dict]: ...
 
 
@@ -609,6 +697,15 @@ class WarmPoolLifecycle:
 
     planner: ShardPlanner | None
     _pool = None
+    #: Set False (on the engine instance) to pin every warm update to the
+    #: naive path — the parity tests use this to compare both paths over
+    #: the same engine.
+    incremental: bool = True
+    #: True once the warm workers hold a *converged* update fix-point — the
+    #: precondition for the delta path, which pushes along the owner edges
+    #: the previous run registered.  Cold spawns and non-update phases do
+    #: not set it; any cold respawn clears it.
+    _primed: bool = False
 
     def _spawn_pool(self, system: P2PSystem, transport) -> PoolLike:
         raise NotImplementedError  # pragma: no cover - mixin contract
@@ -625,12 +722,15 @@ class WarmPoolLifecycle:
         Cold paths: no pool yet, a worker died since the last run, or the
         rule graph changed in a way that re-partitions the network (the
         re-plan invalidation described in :meth:`WorkerPool.plan_if_stale`).
-        Warm path: ship the delta, run the phase.
+        Warm path: ship the delta, run the phase — as a delta-driven
+        incremental update when the pool is primed (previous update
+        converged) and the delta is insert-only, naively otherwise.
         """
         transport = cast("MultiprocTransport", system.transport)
         tracer = tracer_of(system)
         planner = self.planner or ShardPlanner(transport.shard_count)
         pool = self._pool
+        mode: str | None = None
         if pool is not None and not pool.alive:
             _log.warning("warm pool died; respawning cold")
             pool.close()
@@ -646,16 +746,32 @@ class WarmPoolLifecycle:
                 with tracer.span("sync") as sync_span:
                     delta = pool.sync(system)
                     sync_span.set(empty=delta.empty)
+                if (
+                    phase == "update"
+                    and self.incremental
+                    and self._primed
+                    and ChangeSet.from_sync_delta(delta).incremental_ok
+                ):
+                    # Coordinator-side gate only: each worker re-checks
+                    # against the deltas it actually accumulated (a sync may
+                    # have been shipped before a discovery run) and falls
+                    # back to naive on its own if they disagree.
+                    mode = "incremental"
         if pool is None:
             _log.debug("spawning worker pool (%d shards)", plan.shard_count)
+            self._primed = False
             with tracer.span("ship", shards=plan.shard_count):
                 pool = self._pool = self._spawn_pool(system, transport)
         try:
-            return pool.run_phase(phase, origins, tracer=tracer)
+            payloads = pool.run_phase(phase, origins, tracer=tracer, mode=mode)
         except BaseException:
             # run_phase closed the pool; forget it so the next run respawns.
             self._pool = None
+            self._primed = False
             raise
+        if phase == "update":
+            self._primed = True
+        return payloads
 
 
 class PooledEngine(WarmPoolLifecycle, MultiprocEngine):

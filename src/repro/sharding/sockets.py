@@ -448,8 +448,13 @@ class ShardHost:
                         for thread in threads:
                             thread.start()
                     elif kind == "start":
+                        # Frame layout matches the mp-pool inbox tuple; the
+                        # optional 4th slot carries the update mode (None or
+                        # "incremental") and is absent in frames from older
+                        # coordinators.
+                        start_mode = frame[3] if len(frame) > 3 else None
                         for inbox in inboxes.values():
-                            inbox.put(("start", frame[1], frame[2]))
+                            inbox.put(("start", frame[1], frame[2], start_mode))
                     elif kind == "msg":
                         inbox = inboxes.get(frame[1])
                         if inbox is None:
@@ -810,15 +815,25 @@ class SocketPool:
         return delta
 
     def run_phase(
-        self, phase: str, origins: Iterable[NodeId], *, tracer=None
+        self,
+        phase: str,
+        origins: Iterable[NodeId],
+        *,
+        tracer=None,
+        mode: str | None = None,
     ) -> list[dict]:
-        """Drive one phase over the hosted workers and collect their payloads."""
+        """Drive one phase over the hosted workers and collect their payloads.
+
+        ``mode="incremental"`` is forwarded to the hosted workers, which run
+        the delta-driven update path when their accumulated sync deltas agree
+        it is safe (see :func:`repro.sharding.pool._pool_worker_main`).
+        """
         tracer = tracer if tracer is not None else NULL_TRACER
         try:
             self._require_open()
             origin_list = tuple(origins)
             for link in self._links:
-                link.send(("start", phase, origin_list))
+                link.send(("start", phase, origin_list, mode))
             with tracer.span("quiescence") as quiescence_span:
                 rounds = _quiescence_rounds(
                     self._results,

@@ -139,6 +139,19 @@ _NODE_METRICS: dict[str, str] = {
 _MESSAGES_TOTAL = "repro_messages_total"
 _MESSAGE_BYTES_TOTAL = "repro_message_bytes_total"
 
+#: Counters of the incremental (delta-driven) update mode, labelled by node.
+#: ``seed_rows`` counts base rows that seeded the delta frontier,
+#: ``rows_derived`` the rows the incremental chase derived (the frontier's
+#: growth), ``rules_fired`` the delta joins that inserted at least one row,
+#: and ``pushes`` the fragment-delta messages sent to dependants.  Naive runs
+#: never touch these, so a zero total means "took the naive path".
+_INCREMENTAL_METRICS: tuple[str, ...] = (
+    "repro_incremental_seed_rows_total",
+    "repro_incremental_rules_fired_total",
+    "repro_incremental_rows_derived_total",
+    "repro_incremental_pushes_total",
+)
+
 
 class _NodeHandles:
     """Cached registry-counter handles for one node's seven counters."""
@@ -206,6 +219,38 @@ class StatisticsCollector:
         handles.updates_applied.value += 1
         handles.tuples_received.value += received
         handles.tuples_inserted.value += inserted
+
+    def record_incremental(
+        self,
+        node_id: str,
+        *,
+        seed_rows: int = 0,
+        rules_fired: int = 0,
+        rows_derived: int = 0,
+        pushes: int = 0,
+    ) -> None:
+        """Record delta-driven update work at ``node_id`` (incremental mode).
+
+        Cold path by design: incremental runs bump these once per seeded node
+        / fired rule / push batch, not per message, so the handles are not
+        cached.  The counters ride the same registry dump/merge pipeline as
+        every other metric, so worker-side increments surface in the
+        coordinator's registry (and in ``Session.export_metrics``) unchanged.
+        """
+        labels = {"node": node_id}
+        for name, amount in zip(
+            _INCREMENTAL_METRICS, (seed_rows, rules_fired, rows_derived, pushes)
+        ):
+            if amount:
+                self.registry.counter(name, labels).value += amount
+
+    def incremental_totals(self) -> dict[str, int]:
+        """The incremental counters summed over all nodes (zero-filled)."""
+        totals = {name: 0 for name in _INCREMENTAL_METRICS}
+        for counter in self.registry.counters.values():
+            if counter.name in totals:
+                totals[counter.name] += counter.value
+        return totals
 
     def advance_time(self, simulated_time: float) -> None:
         """Advance the simulated clock to ``simulated_time`` (monotonic)."""

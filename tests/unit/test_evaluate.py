@@ -3,7 +3,12 @@
 import pytest
 
 from repro.database.database import LocalDatabase
-from repro.database.evaluate import evaluate_body, evaluate_query, substitute
+from repro.database.evaluate import (
+    evaluate_body,
+    evaluate_body_delta,
+    evaluate_query,
+    substitute,
+)
 from repro.database.parser import parse_query
 from repro.database.query import Atom, Constant, Variable
 from repro.database.schema import DatabaseSchema, RelationSchema
@@ -114,3 +119,79 @@ class TestEvaluateBody:
         db.insert_many("num", [(1,), (5,), (10,)])
         answers = evaluate_query(db, parse_query("q(N) :- num(N), N < 6"))
         assert answers == {(1,), (5,)}
+
+
+def _bindings_set(database, query, delta):
+    """The delta evaluation's bindings as comparable frozensets."""
+    return {
+        frozenset(binding.items())
+        for binding in evaluate_body_delta(database, query, delta)
+    }
+
+
+class TestEvaluateBodyDelta:
+    """Semi-naive evaluation: join each body atom against the delta only."""
+
+    def test_empty_delta_yields_nothing(self, graph_db):
+        query = parse_query("q(X, Y) :- edge(X, Y)")
+        assert _bindings_set(graph_db, query, {}) == set()
+        assert _bindings_set(graph_db, query, {"edge": []}) == set()
+
+    def test_unrelated_delta_yields_nothing(self, graph_db):
+        query = parse_query("q(X, Y) :- edge(X, Y)")
+        assert _bindings_set(graph_db, query, {"label": [("a", "start")]}) == set()
+
+    def test_single_atom_returns_only_delta_rows(self, graph_db):
+        graph_db.insert("edge", ("d", "e"))
+        query = parse_query("q(X, Y) :- edge(X, Y)")
+        bindings = _bindings_set(graph_db, query, {"edge": [("d", "e")]})
+        assert bindings == {
+            frozenset({(Variable("X"), "d"), (Variable("Y"), "e")})
+        }
+
+    def test_delta_join_covers_both_atom_positions(self, graph_db):
+        # The new edge (d, a) participates as *either* body atom: the
+        # seed-each-atom union must find d->a->b (new in first position)
+        # and b->d->a (new in second position).
+        graph_db.insert("edge", ("d", "a"))
+        query = parse_query("q(X, Z) :- edge(X, Y), edge(Y, Z)")
+        answers = {
+            (binding[Variable("X")], binding[Variable("Z")])
+            for binding in evaluate_body_delta(
+                graph_db, query, {"edge": [("d", "a")]}
+            )
+        }
+        assert ("d", "b") in answers
+        assert ("b", "a") in answers
+        # Old-only joins (a->b->c existed before the delta) must not appear.
+        assert ("a", "c") not in answers
+
+    def test_semi_naive_completeness(self, graph_db):
+        # Full naive evaluation after the insert equals the naive evaluation
+        # before it plus exactly what the delta evaluation derives.
+        query = parse_query("q(X, Z) :- edge(X, Y), edge(Y, Z)")
+        before = evaluate_query(graph_db, query)
+        graph_db.insert("edge", ("d", "a"))
+        after = evaluate_query(graph_db, query)
+        delta_answers = {
+            (binding[Variable("X")], binding[Variable("Z")])
+            for binding in evaluate_body_delta(
+                graph_db, query, {"edge": [("d", "a")]}
+            )
+        }
+        assert before | delta_answers == after
+
+    def test_comparisons_filter_delta_bindings(self, graph_db):
+        graph_db.insert("edge", ("c", "c"))
+        query = parse_query("q(X, Y) :- edge(X, Y), X != Y")
+        assert _bindings_set(graph_db, query, {"edge": [("c", "c")]}) == set()
+
+    def test_constant_mismatch_in_seed_atom_is_skipped(self, graph_db):
+        graph_db.insert("edge", ("z", "b"))
+        query = parse_query("q(Y) :- edge('a', Y)")
+        assert _bindings_set(graph_db, query, {"edge": [("z", "b")]}) == set()
+
+    def test_arity_mismatch_raises(self, graph_db):
+        query = parse_query("q(X, Y) :- edge(X, Y)")
+        with pytest.raises(QueryError):
+            list(evaluate_body_delta(graph_db, query, {"edge": [("only",)]}))
