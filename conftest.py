@@ -1,0 +1,99 @@
+"""Repo-root pytest configuration: the stall guard and the chaos seed.
+
+Two concerns live here because both must be wired before collection starts:
+
+* **Stall guard.**  The chaos suite (``tests/chaos/``) exists to prove that
+  faulted runs *never hang* — so a hang in the suite itself must fail loudly,
+  not hold CI until the job-level timeout.  When the ``pytest-timeout``
+  plugin is installed (CI installs ``requirements-dev.txt``) it enforces the
+  ``timeout`` ini key from ``pytest.ini`` and this module stays out of the
+  way.  Without it, the hookwrapper below arms a per-test ``SIGALRM`` with
+  the same ini key and the same ``@pytest.mark.timeout(seconds)`` override
+  (0 disables), so environments that cannot install packages keep the guard.
+
+* **Chaos seed.**  ``--chaos-seed N`` feeds the :func:`chaos_seed` fixture,
+  which seeds every fault plan and workload of the chaos scenarios; CI runs
+  the suite once per seed, so flakes reproduce with the failing seed.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+try:  # pragma: no cover - exercised only where the plugin is installed
+    import pytest_timeout  # noqa: F401
+
+    _HAS_TIMEOUT_PLUGIN = True
+except ImportError:
+    _HAS_TIMEOUT_PLUGIN = False
+
+_DEFAULT_TIMEOUT = 300.0
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the fault plans and workloads of the chaos suite",
+    )
+    if not _HAS_TIMEOUT_PLUGIN:
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (SIGALRM fallback; "
+            "install pytest-timeout for the full plugin)",
+            default=str(_DEFAULT_TIMEOUT),
+        )
+
+
+@pytest.fixture
+def chaos_seed(request) -> int:
+    """The --chaos-seed value (default 0); seeds fault plans and workloads."""
+    return request.config.getoption("--chaos-seed")
+
+
+def pytest_collection_modifyitems(config, items):
+    # Slow-marked tests legitimately run for minutes to hours; when selected
+    # explicitly (-m slow) they must not trip the default stall guard.
+    for item in items:
+        if item.get_closest_marker("slow") and not item.get_closest_marker(
+            "timeout"
+        ):
+            item.add_marker(pytest.mark.timeout(0))
+
+
+def _timeout_seconds(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout"))
+    except (TypeError, ValueError):
+        return _DEFAULT_TIMEOUT
+
+
+if not _HAS_TIMEOUT_PLUGIN and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        seconds = _timeout_seconds(item)
+        if seconds <= 0:
+            yield
+            return
+
+        def _on_alarm(signum, frame):
+            pytest.fail(
+                f"test exceeded the {seconds:.0f}s stall guard "
+                "(SIGALRM fallback; see the timeout key in pytest.ini)",
+                pytrace=False,
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

@@ -50,6 +50,7 @@ from repro.stats.collector import StatsSnapshot
 if TYPE_CHECKING:
     from repro.coordination.changeset import StructuralDigest
     from repro.core.system import P2PSystem
+    from repro.faults.plan import FaultPlan
 
 #: Process-wide default for the pre-flight gate of :meth:`Session.from_spec`.
 #: The CLI's ``--no-preflight`` flag flips it for experiment runs, which
@@ -88,6 +89,7 @@ class Session:
         preflight: AnalysisReport | None = None,
         trace: bool = False,
         tracer: Tracer | None = None,
+        faults: "FaultPlan | None" = None,
     ):
         self.system = system
         self.spec = spec
@@ -130,6 +132,18 @@ class Session:
             # check can bump counters without knowing about sessions.
             for node in system.nodes.values():
                 node.database.profile = tracer.chase
+        # Fault injection: a plan (passed directly or carried by the spec)
+        # attaches a coordinator-side injector to the system; the engines
+        # discover it via repro.faults.injector_of, exactly like the tracer.
+        if faults is None and spec is not None:
+            faults = spec.faults
+        self.fault_injector = None
+        if faults is not None:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(faults, registry=system.stats.registry)
+            system.fault_injector = injector
+            self.fault_injector = injector
 
     # ------------------------------------------------------------ construction
 
@@ -173,6 +187,7 @@ class Session:
         "check",
         "trace",
         "tracer",
+        "faults",
     )
 
     @classmethod

@@ -38,6 +38,7 @@ from repro.network.transport import BaseTransport
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.api.session import Session
     from repro.core.system import P2PSystem
+    from repro.faults.plan import FaultPlan
     from repro.workloads.topologies import TopologySpec
 
 #: Format tag written into dumped scenario files.
@@ -94,6 +95,14 @@ def _load_latency(document: dict | None) -> LatencyModel | None:
     raise ReproError(f"unknown latency kind {kind!r} in scenario JSON")
 
 
+def _load_faults(document: Mapping | None) -> "FaultPlan | None":
+    if document is None:
+        return None
+    from repro.faults.plan import FaultPlan
+
+    return FaultPlan.from_json_dict(document)
+
+
 def _coerce_rule(rule: CoordinationRule | str) -> CoordinationRule:
     if isinstance(rule, CoordinationRule):
         return rule
@@ -144,6 +153,12 @@ class ScenarioSpec:
     #: ``docs/observability.md``).  Off by default — untraced runs stay
     #: bit-identical.
     trace: bool = False
+    #: Seeded fault plan for chaos runs: sessions opened on the spec attach a
+    #: :class:`~repro.faults.injector.FaultInjector` to the system, and the
+    #: process-backed engines fire the plan's worker kills, frame faults and
+    #: host partitions at their phase hook points (see ``docs/faults.md``).
+    #: ``None`` (the default) injects nothing and costs nothing.
+    faults: "FaultPlan | None" = None
 
     @classmethod
     def of(
@@ -230,6 +245,7 @@ class ScenarioSpec:
             "pool": self.pool,
             "hosts": list(self.hosts) if self.hosts else None,
             "trace": self.trace,
+            "faults": self.faults.to_json_dict() if self.faults else None,
             "schemas": {
                 node: [
                     {
@@ -313,6 +329,7 @@ class ScenarioSpec:
             pool=document.get("pool", False),
             hosts=tuple(document["hosts"]) if document.get("hosts") else None,
             trace=document.get("trace", False),
+            faults=_load_faults(document.get("faults")),
         )
 
     @property
@@ -374,6 +391,22 @@ class ScenarioSpec:
                 f"hosts= needs transport='socket', but the spec selects "
                 f"{_transport_label(transport)}"
             )
+        if self.faults is not None:
+            if transport not in ("multiproc", "pooled", "socket"):
+                raise ReproError(
+                    "faults= needs a process-backed transport "
+                    "('multiproc'/'pooled'/'socket'), but the spec selects "
+                    f"{_transport_label(transport)}; the in-process transports "
+                    "have no workers to kill or frames to drop"
+                )
+            if transport != "socket" and any(
+                fault.kind == "partition" for fault in self.faults.faults
+            ):
+                raise ReproError(
+                    "partition faults need transport='socket' (partitions cut "
+                    "coordinator-to-host links), but the spec selects "
+                    f"{_transport_label(transport)}"
+                )
         return P2PSystem.build(
             self.schemas,
             self.rules,

@@ -31,6 +31,7 @@ from repro.experiments import (
     data_distribution,
     depth_linearity,
     dynamic_changes,
+    faults as faults_experiment,
     message_accounting,
     paper_example,
     scalability,
@@ -59,6 +60,15 @@ def _parse_hosts(text: str | None) -> tuple[str, ...] | None:
     return hosts
 
 
+def _load_fault_plan(path: str | None):
+    """Load the --faults plan file, or None when the flag was not given."""
+    if path is None:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.load_json(path)
+
+
 #: Experiment id → (description, callable taking the parsed args).
 _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
     "E1": (
@@ -80,6 +90,7 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
                 repeats=getattr(args, "repeats", 3),
                 hosts=_parse_hosts(getattr(args, "hosts", None)),
                 trace_path=getattr(args, "trace", None),
+                faults=_load_fault_plan(getattr(args, "faults", None)),
             )
             if getattr(args, "engine", "sync")
             in ("sharded", "multiproc", "pooled", "socket")
@@ -125,6 +136,13 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
     "E10": (
         "worst-case growth with clique size and change length",
         lambda args: complexity_growth.main(),
+    ),
+    "E11": (
+        "convergence under injected faults (churn, loss, partitions)",
+        lambda args: faults_experiment.main(
+            records_per_node=getattr(args, "shard_records", 3),
+            plan_path=getattr(args, "faults", None),
+        ),
     ),
 }
 
@@ -218,6 +236,17 @@ def build_parser() -> argparse.ArgumentParser:
         "runs hundreds of nodes, so it stays small independently of --records)",
     )
 
+    run_parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PATH",
+        help=(
+            "a fault-plan JSON file (the format of FaultPlan.dump_json) to "
+            "inject during the run; valid with E11 (replayed against the "
+            "multiproc, pooled and socket engines) and with the E3 engine "
+            "sweep under --engine multiproc/pooled/socket"
+        ),
+    )
     run_parser.add_argument(
         "--trace",
         default=None,
@@ -413,6 +442,23 @@ def main(argv: list[str] | None = None) -> int:
                 "error: --hosts applies only to the E3 socket sweep "
                 f"(run E3 --engine socket); got {args.experiment} with "
                 f"--engine {args.engine}",
+                file=sys.stderr,
+            )
+            return 2
+        if getattr(args, "faults", None) and not (
+            args.experiment == "E11"
+            or (
+                args.experiment == "E3"
+                and args.engine in ("multiproc", "pooled", "socket")
+            )
+        ):
+            # Same loud-failure policy as --hosts: silently running
+            # fault-free while the user named a fault plan would be the
+            # worst outcome.
+            print(
+                "error: --faults applies only to E11 or the E3 engine sweep "
+                "(run E3 --engine multiproc/pooled/socket); got "
+                f"{args.experiment} with --engine {args.engine}",
                 file=sys.stderr,
             )
             return 2

@@ -82,6 +82,32 @@ class ChangeSet:
             for rows in relations.values()
         )
 
+    def union(self, other: "ChangeSet") -> "ChangeSet":
+        """Merge two change logs into one canonical set.
+
+        Inserts union set-wise per node and relation and come back in a
+        canonical sorted order, so the merge is idempotent, commutative and
+        associative — the properties the post-partition reconciliation pass
+        (:mod:`repro.faults.reconcile`) is built on.  The coarse flags OR.
+        """
+        merged: dict[NodeId, dict[str, tuple[Row, ...]]] = {}
+        for source in (self.inserts, other.inserts):
+            for node_id, relations in source.items():
+                per_node = merged.setdefault(node_id, {})
+                for relation_name, rows in relations.items():
+                    existing = per_node.get(relation_name, ())
+                    per_node[relation_name] = tuple(
+                        sorted(set(existing) | set(rows), key=repr)
+                    )
+        return ChangeSet(
+            inserts={
+                node_id: dict(sorted(relations.items()))
+                for node_id, relations in sorted(merged.items())
+            },
+            removals=self.removals or other.removals,
+            rule_changes=self.rule_changes or other.rule_changes,
+        )
+
     @classmethod
     def from_sync_delta(cls, delta: Any) -> "ChangeSet":
         """Build from a :class:`repro.sharding.pool.SyncDelta`.

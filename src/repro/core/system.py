@@ -49,6 +49,9 @@ class P2PSystem:
         #: Span tracer attached by a traced Session; None means tracing off
         #: (engines resolve this via repro.obs.tracer_of).
         self.tracer = None
+        #: Fault injector attached by a chaos Session; None means no faults
+        #: (engines resolve this via repro.faults.injector_of).
+        self.fault_injector = None
         self.registry = RuleRegistry()
         self.nodes: dict[NodeId, PeerNode] = {}
         self.pipes = PipeTable()

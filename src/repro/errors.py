@@ -72,6 +72,25 @@ class TerminationError(ReproError):
     """
 
 
+class FaultError(ReproError):
+    """A fault-injection plan is invalid or a fault could not be applied.
+
+    Raised when a :class:`~repro.faults.plan.FaultPlan` references an unknown
+    fault kind or phase, when a fault targets an engine that cannot express it
+    (e.g. a host partition on a non-socket transport), or when a log-based
+    reconciliation pass is asked to merge change logs it cannot merge safely.
+    """
+
+
+class PartitionError(NetworkError):
+    """A send was blocked by an injected (and not yet healed) host partition.
+
+    Subclasses :class:`NetworkError` so the existing crash-detection and
+    retry machinery treats a partition like any other transport failure,
+    while chaos tests can still assert the *typed* cause.
+    """
+
+
 class ChangeError(ReproError):
     """An atomic network change (addLink/deleteLink) is invalid.
 

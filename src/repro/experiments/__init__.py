@@ -17,6 +17,7 @@ function that prints the same rows the paper reports, formatted with
 | E8 | :mod:`repro.experiments.separation` | Theorem 3 (separated sub-network) |
 | E9 | :mod:`repro.experiments.baseline_comparison` | update vs query-time vs centralized |
 | E10 | :mod:`repro.experiments.complexity_growth` | Lemma 1(3)/Lemma 4 growth |
+| E11 | :mod:`repro.experiments.faults` | convergence under injected faults |
 """
 
 from repro.experiments.runner import UpdateRunResult, run_dblp_update, run_system_update

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.api.session import Session
 from repro.api.spec import ScenarioSpec
@@ -30,6 +30,9 @@ from repro.workloads.topologies import (
     layered_topology,
     tree_topology,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultPlan
 
 
 def tree_specs(sizes: Sequence[int]) -> list[TopologySpec]:
@@ -213,6 +216,7 @@ def run_shard_scalability(
     hosts: Sequence[str] | None = None,
     repeats: int = 3,
     tracer: Tracer | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> list[ShardComparison]:
     """Run the global update under the sync and the partitioned engines side by side.
 
@@ -232,7 +236,11 @@ def run_shard_scalability(
     addresses when given, else against auto-spawned localhost hosts.
     ``tracer`` (usually built by :func:`shard_main` for ``--trace``) is
     shared across every session of the sweep, so all engines' runs land in
-    one timeline — worker-process spans included.
+    one timeline — worker-process spans included.  ``faults`` (the CLI's
+    ``--faults plan.json``) injects the same seeded
+    :class:`~repro.faults.FaultPlan` into every partitioned-engine session
+    of the sweep — the sync baseline stays fault-free, so the parity columns
+    double as the convergence check.
     """
     from repro.core.fixpoint import ground_part
 
@@ -272,7 +280,7 @@ def run_shard_scalability(
         if include_multiproc:
             started = time.perf_counter()
             multiproc_session = Session.from_spec(
-                scenario.with_(transport="multiproc", shards=shards),
+                scenario.with_(transport="multiproc", shards=shards, faults=faults),
                 capture_deltas=False,
                 tracer=tracer,
             )
@@ -303,7 +311,7 @@ def run_shard_scalability(
                     multiproc_session.run("update")
                     cold_walls.append(time.perf_counter() - started)
                 with Session.from_spec(
-                    scenario.with_(transport="pooled", shards=shards),
+                    scenario.with_(transport="pooled", shards=shards, faults=faults),
                     capture_deltas=False,
                     tracer=tracer,
                 ) as pooled_session:
@@ -335,6 +343,7 @@ def run_shard_scalability(
                     transport="socket",
                     shards=shards,
                     hosts=tuple(hosts) if hosts else None,
+                    faults=faults,
                 ),
                 capture_deltas=False,
                 tracer=tracer,
@@ -386,6 +395,7 @@ def shard_main(
     repeats: int = 3,
     hosts: Sequence[str] | None = None,
     trace_path: str | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> str:
     """Print the engine-comparison sweep table.
 
@@ -416,6 +426,7 @@ def shard_main(
         hosts=hosts,
         repeats=repeats,
         tracer=tracer,
+        faults=faults,
     )
     headers = [
         "topology",

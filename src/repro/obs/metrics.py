@@ -204,6 +204,14 @@ class MetricsRegistry:
             histogram.sum += total
             histogram.count += count
 
+    def total(self, name: str) -> float:
+        """Sum a counter across all of its label sets (0.0 when absent)."""
+        return sum(
+            counter.value
+            for (counter_name, _), counter in self.counters.items()
+            if counter_name == name
+        )
+
     def reset(self) -> None:
         """Drop every metric (cached handles become stale — re-acquire them)."""
         self.counters.clear()

@@ -53,6 +53,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.coordination.rule import CoordinationRule, NodeId
 from repro.errors import NetworkError, ReproError
+from repro.faults.injector import WorkerFrameInjector, injector_of
 from repro.network.latency import LatencyModel
 from repro.network.message import Message
 from repro.network.transport import BaseTransport
@@ -66,6 +67,7 @@ from repro.stats.collector import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us)
     from repro.core.system import P2PSystem
+    from repro.faults.plan import FaultPlan
 
 #: Seconds the coordinator waits for a worker to come up / answer before the
 #: run is declared stuck.  Generous: a spawn re-imports the whole package.
@@ -112,6 +114,12 @@ class ShardWorld:
     #: a worker that receives one records spans and ships them home in its
     #: result payload.
     trace_id: str | None = None
+    #: Frame-fault subset of the session's fault plan (a
+    #: :class:`~repro.faults.plan.FaultPlan` or None): workers rebuild a
+    #: :class:`~repro.faults.injector.WorkerFrameInjector` from it and perturb
+    #: their own cross-shard sends.  Worlds ship once per spawn, so a worker's
+    #: run index counts ``start`` commands within its generation.
+    fault_plan: "FaultPlan | None" = None
 
     @property
     def owned(self) -> tuple[NodeId, ...]:
@@ -134,6 +142,7 @@ def _worlds_from_system(system: P2PSystem, plan: ShardPlan) -> list[ShardWorld]:
     rules = tuple(system.registry)
     shard_of = dict(plan.shard_of)
     tracer = tracer_of(system)
+    fault_plan = injector_of(system).worker_plan()
     worlds = []
     for shard in range(plan.shard_count):
         owned = {n for n, s in shard_of.items() if s == shard}
@@ -149,6 +158,7 @@ def _worlds_from_system(system: P2PSystem, plan: ShardPlan) -> list[ShardWorld]:
                 max_messages=system.transport.max_messages,
                 clock_start=system.stats.simulated_time,
                 trace_id=tracer.trace_id if tracer.enabled else None,
+                fault_plan=fault_plan,
             )
         )
     return worlds
@@ -180,6 +190,9 @@ class _WorkerTransport(BaseTransport):
         self.cross_received = 0
         self._queue: list[tuple[float, int, Message]] = []
         self._tiebreak = 0
+        #: Worker-side frame injector (set by the worker mains when the
+        #: shipped world carries a fault plan); None keeps sends untouched.
+        self.fault_injector: WorkerFrameInjector | None = None
 
     def _push(self, deliver_at: float, message: Message) -> None:
         # Local monotone tie-break: Message objects are not orderable, and
@@ -202,6 +215,11 @@ class _WorkerTransport(BaseTransport):
         if target == self.shard_index:
             self._push(deliver_at, message)
         else:
+            if self.fault_injector is not None:
+                # Frame faults model drop-as-retransmit / delay: the frame
+                # still arrives exactly once (the cumulative-counter barrier
+                # stays balanced) but pays extra simulated latency.
+                deliver_at += self.fault_injector.frame_fault()
             self.outboxes[target].put(("msg", deliver_at, message))
             self.cross_sent[target] += 1
 
@@ -356,6 +374,12 @@ def _worker_main(world: ShardWorld, inboxes: list, results) -> None:
             else NULL_TRACER
         )
         transport.tracer = tracer
+        if world.fault_plan is not None:
+            transport.fault_injector = WorkerFrameInjector(
+                world.fault_plan,
+                world.shard_index,
+                transport.stats.registry,
+            )
         with tracer.span("build", shard=world.shard_index):
             system = _build_worker_system(world, transport)
         if tracer.enabled:
@@ -386,6 +410,8 @@ def _worker_main(world: ShardWorld, inboxes: list, results) -> None:
             kind = item[0]
             if kind == "start":
                 phase = item[1]
+                if transport.fault_injector is not None:
+                    transport.fault_injector.start_run()
                 _start_worker_phase(system, world, phase, item[2])
             elif kind == "msg":
                 transport.receive_cross(item[1], item[2])
@@ -415,6 +441,19 @@ def _worker_main(world: ShardWorld, inboxes: list, results) -> None:
 # drivers — the per-run MultiprocEngine here and the persistent WorkerPool in
 # :mod:`repro.sharding.pool` — share one implementation of the cumulative-
 # counter double check and of crashed-worker detection.
+
+
+class _WorkerSet:
+    """The minimal pool surface a fault injector fires kill faults against."""
+
+    def __init__(self, workers):
+        self._workers = workers
+        self.shard_count = len(workers)
+
+    def kill_worker(self, shard: int) -> None:
+        worker = self._workers[shard]
+        if worker.is_alive():
+            worker.terminate()
 
 
 def _check_workers(workers, collected) -> None:
@@ -681,7 +720,26 @@ class MultiprocEngine:
             )
 
         started = time.perf_counter()
-        payloads = self._drive_workers(system, plan, phase, origin_list)
+        # Fault-injected runs may degrade to a cold re-run: the injector
+        # detects the failure (a killed worker, an unhealed partition) and
+        # grants re-runs from its plan's budget.  The coordinator's state is
+        # only mutated by a *successful* _merge below, so a re-run starts
+        # from exactly the state the failed attempt started from.
+        injector = injector_of(system)
+        while True:
+            injector.start_run()
+            try:
+                payloads = self._drive_workers(system, plan, phase, origin_list)
+                break
+            except NetworkError as error:
+                if not injector.should_rerun(error):
+                    raise
+                _log.warning(
+                    "%s run failed under fault injection (%s); "
+                    "degrading to a cold re-run",
+                    self.name,
+                    error,
+                )
         wall = time.perf_counter() - started
         completion = self._merge(system, transport, payloads, wall)
         snapshot = system.stats.snapshot()
@@ -717,11 +775,15 @@ class MultiprocEngine:
         ]
         for worker in workers:
             worker.start()
+        injector = injector_of(system)
+        targets = _WorkerSet(workers)
         try:
             _await_replies(results, "ready", plan.shard_count, workers)
+            injector.fire("ship", targets)
             tracer.end_span(ship_span)
             for inbox in inboxes:
                 inbox.put(("start", phase, tuple(origins)))
+            injector.fire("chase", targets)
             with tracer.span("quiescence") as quiescence_span:
                 rounds = _quiescence_rounds(
                     results,
@@ -731,6 +793,7 @@ class MultiprocEngine:
                     workers,
                 )
                 quiescence_span.set(rounds=rounds)
+            injector.fire("quiescence", targets)
             with tracer.span("collect"):
                 for inbox in inboxes:
                     inbox.put(("stop",))

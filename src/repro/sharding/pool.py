@@ -67,6 +67,7 @@ from repro.coordination.changeset import (
 from repro.coordination.rule import CoordinationRule, NodeId
 from repro.errors import NetworkError, ReproError
 from repro.database.relation import Row
+from repro.faults.injector import NULL_INJECTOR, WorkerFrameInjector, injector_of
 from repro.obs import NULL_TRACER, Tracer, get_logger, tracer_of
 from repro.sharding.multiproc import (
     _DRAIN_BATCH,
@@ -387,6 +388,12 @@ def _pool_worker_main(world: ShardWorld, inboxes: list, results) -> None:
             else NULL_TRACER
         )
         transport.tracer = tracer
+        if world.fault_plan is not None:
+            transport.fault_injector = WorkerFrameInjector(
+                world.fault_plan,
+                world.shard_index,
+                transport.stats.registry,
+            )
         with tracer.span("build", shard=world.shard_index):
             system = _build_worker_system(world, transport)
         if tracer.enabled:
@@ -414,6 +421,8 @@ def _pool_worker_main(world: ShardWorld, inboxes: list, results) -> None:
                 item = inbox.get()
             kind = item[0]
             if kind == "start":
+                if transport.fault_injector is not None:
+                    transport.fault_injector.start_run()
                 phase = item[1]
                 mode = item[3] if len(item) > 3 else None
                 if phase == "update":
@@ -469,6 +478,10 @@ class WorkerPool:
             )
         self.plan = plan
         self.closed = False
+        #: Fault injector firing kill faults at this pool's phase hook points
+        #: (attached per run by :class:`WarmPoolLifecycle`; the null injector
+        #: keeps every hook a no-op on fault-free runs).
+        self.injector = NULL_INJECTOR
         self._max_messages = worlds[0].max_messages if worlds else 1_000_000
         self._mirror = WorldMirror(worlds)
         context = multiprocessing.get_context("spawn")
@@ -556,6 +569,13 @@ class WorkerPool:
                     "the pool must be respawned"
                 )
 
+    def kill_worker(self, shard: int) -> None:
+        """Terminate one worker process (the fault injector's kill primitive)."""
+        worker = self._workers[shard]
+        if worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=5.0)
+
     # --------------------------------------------------------------- re-plan
 
     def plan_if_stale(
@@ -585,6 +605,9 @@ class WorkerPool:
             for shard, inbox in enumerate(self._inboxes):
                 inbox.put(("sync", delta.for_shard(self.plan, shard)))
             self._mirror.note_synced(system)
+        # A sync-phase kill lands here: the dead worker is detected by the
+        # next run_phase's liveness check, never by a wedged barrier.
+        self.injector.fire("sync", self)
         return delta
 
     def run_phase(
@@ -611,6 +634,7 @@ class WorkerPool:
             self._require_open()
             for inbox in self._inboxes:
                 inbox.put(("start", phase, tuple(origins), mode))
+            self.injector.fire("chase", self)
             with tracer.span("quiescence") as quiescence_span:
                 rounds = _quiescence_rounds(
                     self._results,
@@ -620,6 +644,7 @@ class WorkerPool:
                     self._workers,
                 )
                 quiescence_span.set(rounds=rounds)
+            self.injector.fire("quiescence", self)
             with tracer.span("collect"):
                 for inbox in self._inboxes:
                     inbox.put(("collect",))
@@ -664,8 +689,15 @@ class PooledTransport(MultiprocTransport):
 class PoolLike(Protocol):
     """What :class:`WarmPoolLifecycle` needs from a pool it keeps warm."""
 
+    injector: object
+
     @property
     def alive(self) -> bool: ...
+
+    @property
+    def shard_count(self) -> int: ...
+
+    def kill_worker(self, shard: int) -> None: ...
 
     def close(self) -> None: ...
 
@@ -728,6 +760,7 @@ class WarmPoolLifecycle:
         """
         transport = cast("MultiprocTransport", system.transport)
         tracer = tracer_of(system)
+        injector = injector_of(system)
         planner = self.planner or ShardPlanner(transport.shard_count)
         pool = self._pool
         mode: str | None = None
@@ -743,6 +776,7 @@ class WarmPoolLifecycle:
                 pool = self._pool = None
                 transport.apply_plan(fresh_plan)
             else:
+                pool.injector = injector
                 with tracer.span("sync") as sync_span:
                     delta = pool.sync(system)
                     sync_span.set(empty=delta.empty)
@@ -762,6 +796,8 @@ class WarmPoolLifecycle:
             self._primed = False
             with tracer.span("ship", shards=plan.shard_count):
                 pool = self._pool = self._spawn_pool(system, transport)
+            pool.injector = injector
+            injector.fire("ship", pool)
         try:
             payloads = pool.run_phase(phase, origins, tracer=tracer, mode=mode)
         except BaseException:

@@ -65,6 +65,8 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.coordination.rule import NodeId
 from repro.errors import NetworkError, ReproError
+from repro.faults.injector import NULL_INJECTOR, injector_of
+from repro.faults.recovery import retry_call
 from repro.network.latency import LatencyModel
 from repro.obs import NULL_TRACER, get_logger, tracer_of
 from repro.sharding.multiproc import (
@@ -525,6 +527,7 @@ class _HostLink:
         self.address = address
         self.alive = False
         self.exitcode: str | None = None
+        self.injector = NULL_INJECTOR
         self._results = results
         self._router = router
         self._max_frame = max_frame
@@ -577,6 +580,25 @@ class _HostLink:
             self.alive = False
 
     def send(self, obj) -> None:
+        injector = self.injector
+        if not injector.enabled:
+            self._send_raw(obj)
+            return
+
+        def attempt() -> None:
+            # A simulated partition blocks the write but leaves the TCP
+            # connection intact, so it must not flip ``alive`` — raising
+            # before the raw send keeps the two failure modes distinct.
+            injector.check_partition(self.address)
+            self._send_raw(obj)
+
+        policy = injector.retry_policy
+        if policy is None:
+            attempt()
+        else:
+            retry_call(attempt, policy=policy, on_retry=injector.note_retry)
+
+    def _send_raw(self, obj) -> None:
         try:
             self._writer.send(obj)
         except NetworkError:
@@ -646,6 +668,7 @@ class SocketPool:
         hosts: Sequence[str],
         *,
         max_frame: int = DEFAULT_MAX_FRAME,
+        injector=NULL_INJECTOR,
     ):
         if len(worlds) != plan.shard_count:
             raise ReproError(
@@ -667,6 +690,7 @@ class SocketPool:
         # for shard < K ≤ len(hosts).)
         self.hosts = tuple(hosts)[: plan.shard_count]
         self.closed = False
+        self._injector = injector
         self._max_frame = max_frame
         self._max_messages = worlds[0].max_messages if worlds else 1_000_000
         self._mirror = WorldMirror(worlds)
@@ -677,9 +701,9 @@ class SocketPool:
         self._links: list[_HostLink] = []
         try:
             for address in self.hosts:
-                self._links.append(
-                    _HostLink(address, self._results, self._route, max_frame)
-                )
+                link = _HostLink(address, self._results, self._route, max_frame)
+                link.injector = injector
+                self._links.append(link)
             for host_index, link in enumerate(self._links):
                 link.send(
                     (
@@ -705,9 +729,16 @@ class SocketPool:
         hosts: Sequence[str],
         *,
         max_frame: int = DEFAULT_MAX_FRAME,
+        injector=NULL_INJECTOR,
     ) -> "SocketPool":
         """Open a pool over the live system's current state."""
-        return cls(plan, _worlds_from_system(system, plan), hosts, max_frame=max_frame)
+        return cls(
+            plan,
+            _worlds_from_system(system, plan),
+            hosts,
+            max_frame=max_frame,
+            injector=injector,
+        )
 
     # ------------------------------------------------------------------ status
 
@@ -728,9 +759,30 @@ class SocketPool:
             for shard in range(self.shard_count)
         ]
 
+    @property
+    def injector(self):
+        """The fault injector driving this pool's chaos hooks."""
+        return self._injector
+
+    @injector.setter
+    def injector(self, injector) -> None:
+        self._injector = injector
+        for link in self._links:
+            link.injector = injector
+
     def host_of(self, shard: int) -> str:
         """The host address a shard's worker runs on."""
         return self.hosts[self._host_of_shard[shard]]
+
+    def kill_worker(self, shard: int) -> None:
+        """Sever the connection to the host owning ``shard`` (chaos kill).
+
+        The host itself survives — its read loop sees the close, stops its
+        workers and loops back to ``accept`` — so the next (re)spawned pool
+        can reconnect, which is exactly the crash-recovery path the fault
+        suite exercises.
+        """
+        self._links[self._host_of_shard[shard]].close()
 
     # --------------------------------------------------------------- routing
 
@@ -812,6 +864,7 @@ class SocketPool:
                     ("sync", shard, delta.for_shard(self.plan, shard))
                 )
             self._mirror.note_synced(system)
+        self._injector.fire("sync", self)
         return delta
 
     def run_phase(
@@ -834,6 +887,7 @@ class SocketPool:
             origin_list = tuple(origins)
             for link in self._links:
                 link.send(("start", phase, origin_list, mode))
+            self._injector.fire("chase", self)
             with tracer.span("quiescence") as quiescence_span:
                 rounds = _quiescence_rounds(
                     self._results,
@@ -846,6 +900,7 @@ class SocketPool:
                     self._liveness,
                 )
                 quiescence_span.set(rounds=rounds)
+            self._injector.fire("quiescence", self)
             with tracer.span("collect"):
                 for link in self._links:
                     link.send(("collect",))
@@ -1139,11 +1194,17 @@ class SocketEngine(MultiprocEngine):
     ) -> list[dict]:
         transport = self._check(system)
         tracer = tracer_of(system)
+        injector = injector_of(system)
         with tracer.span("ship", shards=plan.shard_count):
             pool = SocketPool.spawn(
-                system, plan, self._hosts_for(transport), max_frame=transport.max_frame
+                system,
+                plan,
+                self._hosts_for(transport),
+                max_frame=transport.max_frame,
+                injector=injector,
             )
         try:
+            injector.fire("ship", pool)
             return pool.run_phase(phase, origins, tracer=tracer)
         finally:
             pool.close()
@@ -1180,9 +1241,13 @@ class PooledSocketEngine(WarmPoolLifecycle, SocketEngine):
         super().close()
 
     def _spawn_pool(self, system: P2PSystem, transport: SocketTransport) -> SocketPool:
+        # The injector is passed at spawn time (not only attached afterwards
+        # by WarmPoolLifecycle) so an unhealed partition already gates the
+        # world-shipping sends of a cold re-spawn.
         return SocketPool.spawn(
             system,
             transport.plan,
             self._hosts_for(transport),
             max_frame=transport.max_frame,
+            injector=injector_of(system),
         )

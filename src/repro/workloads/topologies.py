@@ -168,6 +168,44 @@ def random_topology(size: int, edge_probability: float, seed: int = 0) -> Topolo
     return TopologySpec("random", nodes, tuple(edges), size - 1)
 
 
+#: Builders the :func:`topology_family` dispatcher knows, by family name.
+TOPOLOGY_FAMILIES = ("tree", "chain", "star", "layered", "clique", "random")
+
+
+def topology_family(name: str, size: int, *, seed: int = 0) -> TopologySpec:
+    """Build a member of a named topology family with ``size``-ish nodes.
+
+    One seeded entry point for sweeps that iterate families by name (the
+    chaos suite, CI seed matrices): the result is deterministic in
+    ``(name, size, seed)``.  Families whose shape is fully determined by the
+    size (trees, chains, stars, cliques) accept and ignore the seed, so
+    callers can thread one seed uniformly.  Sizes are met exactly for
+    chains, stars, cliques and random graphs; trees and layered graphs
+    round to the nearest complete shape.
+    """
+    if size < 1:
+        raise ReproError("topology_family needs size >= 1")
+    if name == "tree":
+        return tree_topology(max(0, (size + 1).bit_length() - 2), fanout=2)
+    if name == "chain":
+        return chain_topology(size)
+    if name == "star":
+        return star_topology(max(1, size - 1))
+    if name == "layered":
+        width = 3 if size >= 6 else 2
+        return layered_topology(
+            max(1, round(size / width) - 1), width=width, seed=seed
+        )
+    if name == "clique":
+        return clique_topology(size)
+    if name == "random":
+        return random_topology(size, edge_probability=0.3, seed=seed)
+    raise ReproError(
+        f"unknown topology family {name!r}; expected one of "
+        f"{', '.join(TOPOLOGY_FAMILIES)}"
+    )
+
+
 # ----------------------------------------------------------------- rule builder
 
 #: Body atoms (textual) reconstructing the publication tuple for each variant.

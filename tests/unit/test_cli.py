@@ -80,16 +80,18 @@ class TestParser:
 
 
 class TestExecution:
-    def test_list_prints_all_ten_experiments(self, capsys):
+    def test_list_prints_all_eleven_experiments(self, capsys):
         text = list_experiments()
         out = capsys.readouterr().out
         assert out.strip() == text
-        assert len(text.splitlines()) == 10
+        assert len(text.splitlines()) == 11
         assert text.splitlines()[0].startswith("E1")
 
     def test_main_list_exit_code(self, capsys):
         assert main(["list"]) == 0
-        assert "E10" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "E10" in out
+        assert "E11" in out
 
     def test_main_runs_the_paper_example_experiment(self, capsys):
         assert main(["run", "E1"]) == 0
