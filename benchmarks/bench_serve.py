@@ -1,0 +1,145 @@
+"""Closed-loop serving benchmark: 100 concurrent clients, two warm tenants.
+
+The serving acceptance bar (ISSUE 10): the front-end must sustain at least
+100 concurrent closed-loop clients split across two warm tenants with zero
+5xx responses — admission control may answer 429/503 with Retry-After (the
+closed loop honours it and retries), but nothing may error or hang — while
+every insert-only update rides the warm pools' incremental path.
+
+Each client alternates an insert-only update with a full-relation query;
+updates serialize through the tenant's bounded queue while queries run
+concurrently, so the storm exercises exactly the admission-control contract
+of ``docs/serving.md``.  Headline quantities (p50/p95 op latency,
+throughput, incremental-vs-naive counts) land in ``benchmark.extra_info``;
+the measured wall is the whole storm, gated against ``baseline.json`` by
+``check_regression.py``.
+"""
+
+import json
+import threading
+import time
+
+from repro.experiments.serving import feeding_site, query_for, sweep_specs
+from repro.serve import ServeClient, ServeError, ServerConfig, ServerHandle
+
+#: The acceptance bar: concurrent closed-loop clients across both tenants.
+CLIENTS = 100
+#: Update+query pairs per client (kept small; updates serialize per tenant).
+OPERATIONS = 2
+
+
+def _client_loop(handle, tenant, site, client_id, latencies, counts, lock):
+    node, relation, arity = site
+    query_text = query_for(relation, arity)
+    client = ServeClient(handle.host, handle.port)
+    try:
+        for op in range(OPERATIONS):
+            row = [f"{tenant}-c{client_id}-o{op}-{i}" for i in range(arity)]
+            calls = (
+                ("update", lambda: client.update(
+                    tenant, inserts={node: {relation: [row]}}
+                )),
+                ("query", lambda: client.query(tenant, node, query_text)),
+            )
+            for kind, call in calls:
+                started = time.perf_counter()
+                while True:
+                    try:
+                        outcome = call()
+                    except ServeError as error:
+                        if error.status in (429, 503):
+                            with lock:
+                                counts["rejected"] += 1
+                            time.sleep(error.retry_after or 0.05)
+                            continue
+                        with lock:
+                            counts["errors"] += 1
+                        break
+                    with lock:
+                        latencies.append(time.perf_counter() - started)
+                        counts[kind] += 1
+                        if kind == "update":
+                            mode = outcome.get("mode")
+                            counts[
+                                "incremental" if mode == "incremental" else "naive"
+                            ] += 1
+                    break
+    finally:
+        client.close()
+
+
+def test_bench_serve_closed_loop(benchmark):
+    """100 closed-loop clients, two warm tenants, zero 5xx, warm deltas."""
+    specs = sweep_specs(records_per_node=2, seed=0)
+    sites = {name: feeding_site(spec) for name, spec in specs.items()}
+    config = ServerConfig(port=0, queue_depth=256, max_workers=4)
+    with ServerHandle(config) as handle:
+        setup = ServeClient(handle.host, handle.port)
+        for name, spec in specs.items():
+            setup.create_tenant(name, json.loads(spec.dump_json()))
+
+        latencies: list[float] = []
+        counts = {
+            "update": 0,
+            "query": 0,
+            "incremental": 0,
+            "naive": 0,
+            "rejected": 0,
+            "errors": 0,
+        }
+        lock = threading.Lock()
+        storms = [0]
+
+        def storm():
+            storms[0] += 1
+            tenant_names = sorted(specs)
+            threads = [
+                threading.Thread(
+                    target=_client_loop,
+                    args=(
+                        handle,
+                        tenant_names[client_id % len(tenant_names)],
+                        sites[tenant_names[client_id % len(tenant_names)]],
+                        client_id + storms[0] * CLIENTS,
+                        latencies,
+                        counts,
+                        lock,
+                    ),
+                )
+                for client_id in range(CLIENTS)
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return time.perf_counter() - started
+
+        wall = benchmark.pedantic(storm, rounds=1, iterations=1)
+
+        expected_pairs = storms[0] * CLIENTS * OPERATIONS
+        ordered = sorted(latencies)
+        benchmark.extra_info.update(
+            clients=CLIENTS,
+            tenants=len(specs),
+            operations_per_client=OPERATIONS * 2,
+            completed_ops=counts["update"] + counts["query"],
+            updates=counts["update"],
+            queries=counts["query"],
+            incremental=counts["incremental"],
+            naive=counts["naive"],
+            rejected_then_retried=counts["rejected"],
+            errors=counts["errors"],
+            p50_ms=round(ordered[len(ordered) // 2] * 1000, 2),
+            p95_ms=round(ordered[int(len(ordered) * 0.95)] * 1000, 2),
+            throughput_ops_per_s=round(
+                (counts["update"] + counts["query"]) / wall, 1
+            ),
+        )
+        # The serving contract: every op eventually answered, zero 5xx.
+        assert counts["errors"] == 0
+        assert counts["update"] + counts["query"] == expected_pairs * 2
+        # Warm insert-only updates all took the delta-driven path.
+        assert counts["naive"] == 0
+        assert counts["incremental"] == counts["update"]
+        setup.close()

@@ -1,15 +1,23 @@
-"""Fail on broken relative links in the repo's markdown documentation.
+"""Fail on broken relative links or anchors in the repo's markdown docs.
 
 Usage (what the CI ``docs-check`` job runs from the repo root)::
 
     python docs/check_links.py README.md docs
 
-Arguments are markdown files or directories (scanned for ``*.md``).  Every
-inline markdown link ``[text](target)`` whose target is *relative* — not
-``http(s)://``, ``mailto:`` or a pure ``#anchor`` — must resolve to an
-existing file or directory relative to the file containing it (anchors are
-stripped before the check).  Exit code 1 lists every broken link; 0 means
-the docs' internal references are all real.
+Arguments are markdown files or directories (scanned for ``*.md``).  Two
+checks run on every inline markdown link ``[text](target)``:
+
+* **Files** — a *relative* target (not ``http(s)://``, ``mailto:`` or a
+  pure ``#anchor``) must resolve to an existing file or directory
+  relative to the file containing it.
+* **Anchors** — a ``#fragment`` (on a relative ``*.md`` target, or on
+  its own for a same-file reference) must match a heading in the target
+  document under GitHub's slug rules (lowercase, punctuation stripped,
+  spaces to hyphens, duplicate slugs suffixed ``-1``, ``-2``, ...).
+  Headings inside fenced code blocks do not count.
+
+Exit code 1 lists every broken link or anchor; 0 means the docs'
+internal references are all real.
 """
 
 from __future__ import annotations
@@ -20,6 +28,12 @@ from pathlib import Path
 
 #: Inline markdown links; images share the syntax modulo a leading ``!``.
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings (``# ...`` through ``###### ...``).
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: Characters GitHub keeps in a heading slug besides spaces/hyphens.
+_SLUG_KEEP = re.compile(r"[^0-9a-z _-]")
 
 #: Targets the checker does not try to resolve on disk.
 _EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
@@ -43,20 +57,69 @@ def relative_targets(text: str):
     """Yield the relative link targets of one markdown document."""
     for match in _LINK.finditer(text):
         target = match.group(1)
-        if target.startswith(_EXTERNAL) or target.startswith("#"):
+        if target.startswith(_EXTERNAL):
             continue
         yield target
 
 
-def broken_links(files: list[Path]) -> list[tuple[Path, str]]:
-    """Every (file, target) pair whose target does not resolve."""
-    broken: list[tuple[Path, str]] = []
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for one heading text (without dedup suffix)."""
+    # Inline code/links render as their text before slugging.
+    text = heading.replace("`", "")
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = _SLUG_KEEP.sub("", text.lower())
+    # GitHub replaces each space with a hyphen without collapsing runs.
+    return text.strip().replace(" ", "-")
+
+
+def heading_slugs(text: str) -> set[str]:
+    """Every anchor slug a markdown document exposes, dedup suffixes included."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    fenced = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        match = _HEADING.match(line)
+        if match is None:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def broken_links(files: list[Path]) -> list[tuple[Path, str, str]]:
+    """Every (file, target, problem) whose target or anchor does not resolve."""
+    broken: list[tuple[Path, str, str]] = []
+    slug_cache: dict[Path, set[str]] = {}
+
+    def slugs_of(path: Path) -> set[str]:
+        resolved = path.resolve()
+        if resolved not in slug_cache:
+            slug_cache[resolved] = heading_slugs(
+                resolved.read_text(encoding="utf-8")
+            )
+        return slug_cache[resolved]
+
     for markdown_file in files:
         text = markdown_file.read_text(encoding="utf-8")
         for target in relative_targets(text):
-            resolved = markdown_file.parent / target.split("#", 1)[0]
-            if not resolved.exists():
-                broken.append((markdown_file, target))
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = markdown_file.parent / file_part
+                if not resolved.exists():
+                    broken.append((markdown_file, target, "missing file"))
+                    continue
+            else:
+                resolved = markdown_file
+            if anchor and resolved.is_file() and resolved.suffix == ".md":
+                if anchor not in slugs_of(resolved):
+                    broken.append((markdown_file, target, "missing anchor"))
     return broken
 
 
@@ -67,11 +130,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     files = iter_markdown_files(arguments)
     broken = broken_links(files)
-    for markdown_file, target in broken:
-        print(f"BROKEN  {markdown_file}: ({target})")
+    for markdown_file, target, problem in broken:
+        print(f"BROKEN  {markdown_file}: ({target}) — {problem}")
     print(
         f"checked {len(files)} markdown file(s): "
-        f"{len(broken)} broken relative link(s)"
+        f"{len(broken)} broken link(s) or anchor(s)"
     )
     return 1 if broken else 0
 

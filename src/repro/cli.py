@@ -13,6 +13,11 @@ and interactive runs share exactly the same code paths.
 :mod:`repro.analysis`, codes in ``docs/analysis.md``) without running
 anything; ``run --no-preflight`` disables the same analyzer where it gates
 experiment sessions.
+
+``python -m repro serve --bind 127.0.0.1:8750 --tenants scenarios/`` boots
+the long-running multi-tenant HTTP/WebSocket front-end of
+:mod:`repro.serve` (endpoint reference in ``docs/serving.md``); it simply
+forwards to ``python -m repro.serve``.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.experiments import (
     paper_example,
     scalability,
     separation,
+    serving,
     trace_example,
 )
 
@@ -144,6 +150,14 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
             plan_path=getattr(args, "faults", None),
         ),
     ),
+    "E12": (
+        "multi-tenant serving under closed-loop HTTP load",
+        lambda args: serving.main(
+            records_per_node=getattr(args, "shard_records", 3),
+            clients=getattr(args, "clients", 4),
+            operations=getattr(args, "operations", 4),
+        ),
+    ),
 }
 
 
@@ -237,6 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run_parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="closed-loop clients per tenant for the E12 serving sweep (default 4)",
+    )
+    run_parser.add_argument(
+        "--operations",
+        type=int,
+        default=4,
+        help="update+query pairs per E12 client (default 4)",
+    )
+    run_parser.add_argument(
         "--faults",
         default=None,
         metavar="PATH",
@@ -301,6 +327,19 @@ def build_parser() -> argparse.ArgumentParser:
             "cross-shard cut fraction above which the P001 advisory fires "
             "for sharded specs (default 0.5)"
         ),
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "boot the multi-tenant HTTP/WebSocket front-end "
+            "(same as 'python -m repro.serve'; see docs/serving.md)"
+        ),
+    )
+    serve_parser.add_argument(
+        "serve_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.serve (try: serve --help)",
     )
 
     trace_parser = subparsers.add_parser(
@@ -389,8 +428,16 @@ def list_experiments() -> str:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "serve":
+        # Forward everything after "serve" verbatim: argparse.REMAINDER
+        # refuses option-like tokens (``--bind``) on some Python versions,
+        # so the sub-CLI gets dispatched before the main parser runs.
+        from repro.serve.__main__ import main as serve_main
+
+        return serve_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     from repro.obs import configure_logging
 
@@ -399,6 +446,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         list_experiments()
         return 0
+    if args.command == "serve":  # pragma: no cover - dispatched above
+        from repro.serve.__main__ import main as serve_main
+
+        return serve_main(args.serve_args)
     if args.command == "trace":
         return inspect_trace(args.action, args.path)
     if args.command == "lint":

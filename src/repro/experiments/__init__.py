@@ -18,6 +18,7 @@ function that prints the same rows the paper reports, formatted with
 | E9 | :mod:`repro.experiments.baseline_comparison` | update vs query-time vs centralized |
 | E10 | :mod:`repro.experiments.complexity_growth` | Lemma 1(3)/Lemma 4 growth |
 | E11 | :mod:`repro.experiments.faults` | convergence under injected faults |
+| E12 | :mod:`repro.experiments.serving` | multi-tenant serving under closed-loop load |
 """
 
 from repro.experiments.runner import UpdateRunResult, run_dblp_update, run_system_update

@@ -29,7 +29,7 @@ from repro.faults.reconcile import (
     merge_changesets,
     reconcile,
 )
-from repro.faults.recovery import RetryPolicy, retry_call
+from repro.faults.recovery import RetryPolicy, retry_after_hint, retry_call
 
 __all__ = [
     "FAULT_KINDS",
@@ -47,5 +47,6 @@ __all__ = [
     "injector_of",
     "merge_changesets",
     "reconcile",
+    "retry_after_hint",
     "retry_call",
 ]

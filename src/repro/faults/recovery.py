@@ -46,6 +46,19 @@ class RetryPolicy:
         return delays
 
 
+def retry_after_hint(policy: RetryPolicy) -> float:
+    """Seconds a caller should wait once ``policy``'s budget is spent.
+
+    The serving front-end puts this on ``Retry-After`` headers when a run
+    fails through the whole retry schedule (e.g. an unhealed partition):
+    retrying sooner than the schedule's last backoff step would just replay
+    the same failure, so that step is the honest hint.  A zero-attempt
+    policy falls back to the base backoff.
+    """
+    delays = policy.delays()
+    return delays[-1] if delays else max(policy.backoff, 0.05)
+
+
 def retry_call(
     fn: Callable[[], T],
     *,

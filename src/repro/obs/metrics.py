@@ -182,17 +182,33 @@ class MetricsRegistry:
             ],
         }
 
-    def merge(self, dump: Mapping) -> None:
-        """Fold a :meth:`dump` in: counters/histograms add, gauges take max."""
+    def merge(
+        self,
+        dump: Mapping,
+        *,
+        extra_labels: Mapping[str, object] | None = None,
+    ) -> None:
+        """Fold a :meth:`dump` in: counters/histograms add, gauges take max.
+
+        ``extra_labels`` are stamped onto every merged metric — the serving
+        front-end uses this to fold many tenants' registries into one
+        exposition with a distinguishing ``tenant`` label, the same way a
+        Prometheus federation job would relabel scraped series.
+        """
+        extra = dict(extra_labels) if extra_labels else {}
+
+        def relabel(labels: LabelItems) -> dict[str, object]:
+            return {**dict(labels), **extra}
+
         for name, labels, value in dump.get("counters", ()):
-            self.counter(name, dict(labels)).value += value
+            self.counter(name, relabel(labels)).value += value
         for name, labels, value in dump.get("gauges", ()):
-            gauge = self.gauge(name, dict(labels))
+            gauge = self.gauge(name, relabel(labels))
             gauge.value = max(gauge.value, value)
         for name, labels, buckets, counts, total, count in dump.get(
             "histograms", ()
         ):
-            histogram = self.histogram(name, dict(labels), buckets=tuple(buckets))
+            histogram = self.histogram(name, relabel(labels), buckets=tuple(buckets))
             if histogram.buckets != tuple(sorted(buckets)):
                 # Different bucket layouts cannot be combined bucket-wise;
                 # keep the receiver's layout and fold into sum/count only.

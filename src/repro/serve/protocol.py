@@ -1,0 +1,324 @@
+"""HTTP/1.1 and WebSocket wire plumbing for the serving front-end.
+
+The container ships no web framework, so the server speaks a deliberately
+small, strictly-parsed subset of HTTP/1.1 over asyncio streams — request
+line + headers + ``Content-Length`` bodies, keep-alive connections — and
+RFC 6455 WebSockets for the event channel (handshake via the magic GUID,
+masked client frames, unmasked server frames, ping/pong/close).  Like the
+shard-host framing in :mod:`repro.sharding.sockets`, everything malformed
+or oversized is rejected loudly instead of being guessed at.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.errors import ReproError
+
+#: Upper bounds keeping one bad client from holding the parser hostage.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 32768
+MAX_BODY_BYTES = 64 * 1024 * 1024
+MAX_WS_PAYLOAD = 16 * 1024 * 1024
+
+#: RFC 6455 section 1.3 — the handshake's magic GUID.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket opcodes the server handles.
+WS_TEXT = 0x1
+WS_BINARY = 0x2
+WS_CLOSE = 0x8
+WS_PING = 0x9
+WS_PONG = 0xA
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolViolation(ReproError):
+    """The peer sent bytes that are not the HTTP/WS subset we speak."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP request (method, split path, query, headers, body)."""
+
+    method: str
+    target: str
+    path: str
+    query: Mapping[str, list[str]]
+    headers: Mapping[str, str]
+    body: bytes = b""
+
+    @property
+    def segments(self) -> tuple[str, ...]:
+        """The path split on ``/`` with empty segments dropped."""
+        return tuple(part for part in self.path.split("/") if part)
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """First value of one query parameter (or ``default``)."""
+        values = self.query.get(name)
+        return values[0] if values else default
+
+    def json(self) -> object:
+        """The body decoded as JSON (``{}`` for an empty body)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolViolation(f"request body is not valid JSON: {error}")
+
+    @property
+    def wants_websocket(self) -> bool:
+        """True when the request asks for a WebSocket upgrade."""
+        return (
+            "websocket" in self.header("upgrade").lower()
+            and "upgrade" in self.header("connection").lower()
+        )
+
+
+@dataclass
+class HttpResponse:
+    """One response about to be serialised (status + headers + body)."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls, status: int, document: object, headers: dict[str, str] | None = None
+    ) -> "HttpResponse":
+        body = (json.dumps(document, indent=2, default=str) + "\n").encode("utf-8")
+        return cls(status, body, "application/json", dict(headers or {}))
+
+    @classmethod
+    def text(
+        cls,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> "HttpResponse":
+        return cls(status, text.encode("utf-8"), content_type)
+
+    @classmethod
+    def error(
+        cls,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ) -> "HttpResponse":
+        """The uniform error shape: ``{"error": {"code", "message"}}``.
+
+        ``retry_after`` (seconds, rounded up to at least 1) becomes a
+        ``Retry-After`` header — the admission-control contract promises one
+        on every 429/503 so closed-loop clients can back off honestly.
+        """
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, int(retry_after + 0.999)))
+        return cls.json(
+            status, {"error": {"code": code, "message": message}}, headers
+        )
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request off ``reader``; ``None`` on a cleanly closed peer."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolViolation("connection closed mid request line")
+    except asyncio.LimitOverrunError:
+        raise ProtocolViolation("request line exceeds the size bound")
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolViolation("request line exceeds the size bound")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolViolation(f"malformed request line {line!r}")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise ProtocolViolation("connection closed inside the header block")
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise ProtocolViolation("header block exceeds the size bound")
+        if line == b"\r\n":
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise ProtocolViolation(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolViolation(
+                f"malformed Content-Length {headers['content-length']!r}"
+            )
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolViolation(f"Content-Length {length} out of bounds")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolViolation("connection closed mid body")
+    elif headers.get("transfer-encoding"):
+        raise ProtocolViolation("chunked request bodies are not supported")
+
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(response: HttpResponse, *, keep_alive: bool) -> bytes:
+    """Serialise ``response`` (adding framing + connection headers)."""
+    reason = _REASONS.get(response.status, "Unknown")
+    headers = {
+        "Content-Type": response.content_type,
+        "Content-Length": str(len(response.body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+        **response.headers,
+    }
+    head = f"HTTP/1.1 {response.status} {reason}\r\n" + "".join(
+        f"{name}: {value}\r\n" for name, value in headers.items()
+    )
+    return head.encode("latin-1") + b"\r\n" + response.body
+
+
+# ---------------------------------------------------------------- websockets
+
+
+def websocket_accept(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's handshake key."""
+    digest = hashlib.sha1((key + _WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def websocket_handshake_response(request: HttpRequest) -> bytes:
+    """The raw 101 response completing a WebSocket upgrade."""
+    key = request.header("sec-websocket-key")
+    if not key:
+        raise ProtocolViolation("WebSocket upgrade without Sec-WebSocket-Key")
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept(key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def build_frame(opcode: int, payload: bytes, *, mask: bool = False) -> bytes:
+    """One final (FIN=1) WebSocket frame; clients must set ``mask=True``."""
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 65536:
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + payload
+
+
+def parse_frame(read_exact: Callable[[int], bytes]) -> tuple[int, bytes]:
+    """Parse one frame via a blocking ``read_exact(n)``; returns (opcode, payload).
+
+    Shared by the async server loop (wrapped over ``readexactly``) and the
+    synchronous test/bench client.  Unmasks masked payloads; rejects
+    fragmented messages and oversized payloads instead of buffering them.
+    """
+    first, second = read_exact(2)
+    if not first & 0x80:
+        raise ProtocolViolation("fragmented WebSocket messages are not supported")
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", read_exact(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", read_exact(8))
+    if length > MAX_WS_PAYLOAD:
+        raise ProtocolViolation(f"WebSocket payload of {length} bytes refused")
+    key = read_exact(4) if masked else b""
+    payload = read_exact(length) if length else b""
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+async def read_ws_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Async variant of :func:`parse_frame` over a stream reader."""
+
+    async def read_exact(n: int) -> bytes:
+        try:
+            return await reader.readexactly(n)
+        except asyncio.IncompleteReadError:
+            raise ProtocolViolation("connection closed mid WebSocket frame")
+
+    first, second = await read_exact(2)
+    if not first & 0x80:
+        raise ProtocolViolation("fragmented WebSocket messages are not supported")
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", await read_exact(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await read_exact(8))
+    if length > MAX_WS_PAYLOAD:
+        raise ProtocolViolation(f"WebSocket payload of {length} bytes refused")
+    key = await read_exact(4) if masked else b""
+    payload = await read_exact(length) if length else b""
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload

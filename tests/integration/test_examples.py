@@ -36,6 +36,14 @@ EXPECTED: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
             "same ground fix-point as the sync engine: True",
         ),
     ),
+    "serve_quickstart.py": (
+        (),
+        (
+            "update took the incremental path",
+            "event channel saw the run: run/ok",
+            "tenant closed; pool drained",
+        ),
+    ),
 }
 
 

@@ -80,11 +80,11 @@ class TestParser:
 
 
 class TestExecution:
-    def test_list_prints_all_eleven_experiments(self, capsys):
+    def test_list_prints_all_twelve_experiments(self, capsys):
         text = list_experiments()
         out = capsys.readouterr().out
         assert out.strip() == text
-        assert len(text.splitlines()) == 11
+        assert len(text.splitlines()) == 12
         assert text.splitlines()[0].startswith("E1")
 
     def test_main_list_exit_code(self, capsys):
@@ -92,6 +92,24 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "E10" in out
         assert "E11" in out
+        assert "E12" in out
+
+    def test_serve_subcommand_forwards_arguments(self, capsys):
+        # Option-like tokens reach the serve sub-CLI verbatim: main()
+        # dispatches "serve" before the main parser runs, because
+        # argparse.REMAINDER rejects leading options on some versions.
+        assert main(["serve", "--preload", "paper"]) == 2
+        assert "--preload needs --tenants" in capsys.readouterr().err
+        assert main(["serve", "--bind", "no-port-here"]) == 2
+        assert "bind" in capsys.readouterr().err.lower()
+
+    def test_e12_client_flags(self):
+        args = build_parser().parse_args(
+            ["run", "E12", "--clients", "9", "--operations", "2"]
+        )
+        assert args.experiment == "E12"
+        assert args.clients == 9
+        assert args.operations == 2
 
     def test_main_runs_the_paper_example_experiment(self, capsys):
         assert main(["run", "E1"]) == 0

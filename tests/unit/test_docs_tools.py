@@ -1,0 +1,84 @@
+"""Units for the docs tooling: the link/anchor checker and the API generator."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "docs" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+check_links = _load("check_links")
+gen_api = _load("gen_api")
+
+
+class TestGithubSlugs:
+    def test_plain_heading(self):
+        assert check_links.github_slug("Load-testing how-to") == "load-testing-how-to"
+
+    def test_punctuation_and_code_stripped(self):
+        assert check_links.github_slug("`GET /healthz`") == "get-healthz"
+        assert check_links.github_slug("Errors, admission & control!") == (
+            "errors-admission--control"
+        )
+
+    def test_inline_links_render_as_text(self):
+        assert check_links.github_slug("See [engines](engines.md)") == (
+            "see-engines"
+        )
+
+    def test_duplicate_headings_get_suffixes(self):
+        slugs = check_links.heading_slugs("# Twice\n\n# Twice\n")
+        assert slugs == {"twice", "twice-1"}
+
+    def test_fenced_code_is_not_a_heading(self):
+        text = "# Real\n\n```sh\n# not a heading\n```\n"
+        assert check_links.heading_slugs(text) == {"real"}
+
+
+class TestBrokenLinks:
+    def test_missing_file_and_anchor_reported(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "# Here\n[ok](#here) [bad](#gone) [miss](nope.md) "
+            "[x](b.md#there) [y](b.md#absent)\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "b.md").write_text("# There\n", encoding="utf-8")
+        broken = check_links.broken_links(
+            check_links.iter_markdown_files([str(tmp_path)])
+        )
+        problems = {(target, problem) for _, target, problem in broken}
+        assert problems == {
+            ("#gone", "missing anchor"),
+            ("nope.md", "missing file"),
+            ("b.md#absent", "missing anchor"),
+        }
+
+    def test_repo_docs_are_clean(self):
+        files = check_links.iter_markdown_files(
+            [str(REPO_ROOT / "README.md"), str(REPO_ROOT / "docs")]
+        )
+        assert check_links.broken_links(files) == []
+
+
+class TestGeneratedApi:
+    def test_api_md_matches_the_docstrings(self):
+        committed = (REPO_ROOT / "docs" / "api.md").read_text(encoding="utf-8")
+        assert committed == gen_api.generate(), (
+            "docs/api.md is stale — regenerate with "
+            "'PYTHONPATH=src python docs/gen_api.py'"
+        )
+
+    def test_every_target_is_rendered(self):
+        text = gen_api.generate()
+        for _module, class_name, _role in gen_api.TARGETS:
+            assert f"## {class_name}" in text
